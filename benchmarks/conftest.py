@@ -1,0 +1,19 @@
+"""Benchmark harness support: artifact publication."""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def publish():
+    """Print a report and persist it under benchmarks/out/."""
+
+    def _publish(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _publish

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Divide and conquer: the Figure 7 walkthrough.
+
+The output-integrity property of a wide merge datapath (three pipelines
+feeding check point D) exceeds the model checker's resource budget when
+checked in one piece.  Following the paper's section 4.2, the property
+is divided at the internal parity checkpoints A', B', C':
+
+1. the integrity of each chain end is proved from the primary inputs;
+2. the output property is proved on an abstraction where each chain end
+   is a free input assumed to carry odd parity.
+
+Run:  python examples/divide_and_conquer.py
+"""
+
+from repro.chip.library import fig7_cut_registers, fig7_module
+from repro.core.partition import partition_property
+from repro.core.stereotypes import integrity_vunit
+from repro.formal.budget import ResourceBudget
+from repro.formal.engine import ModelChecker
+from repro.psl.compile import compile_assertion
+from repro.rtl.inject import make_verifiable
+
+NODE_QUOTA = 400_000
+
+
+def check(ts, label):
+    budget = ResourceBudget(bdd_nodes=NODE_QUOTA)
+    result = ModelChecker(ts, budget).check(method="bdd-forward")
+    stats = ts.size_stats()
+    print(f"  {label:34s} latches={stats['latches']:4d} "
+          f"verdict={result.status.upper():8s} "
+          f"nodes={budget.spent_nodes:>9,}")
+    return result
+
+
+def main():
+    module = make_verifiable(fig7_module())
+    unit = integrity_vunit(module)
+    assert_name = unit.asserted()[0][0]
+    cuts = fig7_cut_registers(module)
+
+    print(f"Workload: {module.name} — three pipelines of 17-bit "
+          f"protected words merging into check point D")
+    print(f"Property: {assert_name} (output data integrity)")
+    print(f"Engine quota: {NODE_QUOTA:,} BDD nodes per check "
+          f"(deterministic time-out)\n")
+
+    print("Monolithic check (Figure 7 (1)):")
+    monolithic = compile_assertion(module, unit, assert_name)
+    result = check(monolithic, assert_name)
+    assert result.timed_out, "expected the monolithic check to time out"
+
+    print(f"\nDividing at internal checkpoints {cuts} "
+          f"(Figure 7 (2)):")
+    plan = partition_property(module, unit, assert_name, cuts)
+    for piece in plan.checkpoint_problems:
+        check(piece.ts, piece.name)
+    check(plan.abstract_problem.ts, plan.abstract_problem.name)
+
+    print("\nEvery piece passes inside the same quota: the division "
+          "turned one intractable check into four small ones, and the "
+          "checkpoint proofs discharge exactly the assumptions the "
+          "abstract piece introduces.")
+
+
+if __name__ == "__main__":
+    main()

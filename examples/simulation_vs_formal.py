@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Simulation vs formal verification on the hardest bug (B1).
+
+Reproduces the paper's headline contrast on the reserved-field
+register-file bug: a budgeted random-simulation campaign never hits the
+arming write sequence, while the formal soundness check produces a
+minimal counterexample in milliseconds — spelling out the exact write
+sequence a designer needs to understand the bug.
+
+Run:  python examples/simulation_vs_formal.py
+"""
+
+from repro.chip.specials import (
+    ARM_ADDRESS, ARM_DATA_NIBBLE, REGFILE_ADDRESSES, RESERVED_REGISTER,
+    register_file,
+)
+from repro.core.stereotypes import soundness_vunit
+from repro.formal.budget import ResourceBudget
+from repro.formal.engine import ModelChecker
+from repro.psl.compile import compile_assertion
+from repro.rtl.elaborate import elaborate
+from repro.rtl.inject import make_verifiable
+from repro.sim.campaign import SimulationCampaign
+
+SIM_CYCLES = 20_000
+
+
+def main():
+    module = make_verifiable(register_file("A01_regfile", buggy=True))
+    print("Defect B1: writes to the reserved field of the register at "
+          f"address {REGFILE_ADDRESSES[RESERVED_REGISTER]:#04x} store "
+          "inconsistent parity — but only after an arming write to "
+          f"{ARM_ADDRESS:#04x} with data nibble {ARM_DATA_NIBBLE:#x}.\n")
+
+    print(f"--- Logic simulation: {SIM_CYCLES} cycles of legal random "
+          f"traffic ---")
+    campaign = SimulationCampaign([module],
+                                  cycles_per_module=SIM_CYCLES,
+                                  seed=2004)
+    report = campaign.run()
+    result = report.results[0]
+    if result.found_bug:
+        print(f"violation at cycle {result.first_violation_cycle} "
+              f"(unusually lucky seed)")
+    else:
+        print(f"no violation in {result.cycles_run} cycles "
+              f"({result.seconds:.1f}s of simulation): the arming "
+              f"sequence is a ~2^-23 event per cycle pair")
+
+    print("\n--- Formal verification: soundness stereotype (P1) ---")
+    unit = soundness_vunit(module)
+    ts = compile_assertion(module, unit, "pNoError_HE")
+    checker = ModelChecker(ts, ResourceBudget(sat_conflicts=500_000,
+                                              bdd_nodes=5_000_000))
+    outcome = checker.check()
+    print(f"verdict: {outcome.status.upper()} in "
+          f"{outcome.seconds * 1000:.0f} ms "
+          f"(engine {outcome.engine}, counterexample depth "
+          f"{outcome.depth})")
+    print("\nThe counterexample IS the triggering scenario:")
+    print(outcome.trace.format())
+    print("\ncycle 0 arms the register file, cycle 1 writes a non-zero "
+          "reserved field, and the hardware error report fires in "
+          "cycle 2 during 'normal' operation — the paper's point: "
+          "exhaustive search needs no test scenario at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Verifiable RTL: the Figure 6 flow plus its design impact (Table 4).
+
+Shows the designer-side half of the methodology:
+
+1. start from a plain leaf module with an integrity specification;
+2. insert the error-injection hardware (``make_verifiable``) — one EC
+   bit per protected entity, a shared ED bus, one mux per register;
+3. wrap it for silicon with the injection ports tied to zero;
+4. lint the Verifiable-RTL requirements;
+5. emit both modules as Verilog (the Figure 6 listing);
+6. measure what the feature costs in area and timing.
+
+Run:  python examples/verifiable_rtl.py
+"""
+
+from repro.chip.library import canonical_leaf
+from repro.rtl.inject import make_verifiable, make_wrapper
+from repro.rtl.lint import lint_verifiable, lint_wrapper
+from repro.rtl.verilog import emit_hierarchy
+from repro.synth.area import area_increase
+from repro.synth.timing import selector_impact
+
+
+def main():
+    base = canonical_leaf("B")
+    verifiable = make_verifiable(base)
+    wrapper = make_wrapper(verifiable, wrapper_name="A",
+                           inst_name="B_in_A")
+
+    print("=== Verifiable-RTL lint ===")
+    issues = lint_verifiable(verifiable) + lint_wrapper(wrapper)
+    print("clean" if not issues else "\n".join(map(str, issues)))
+
+    print("\n=== Figure 6: Verilog of the Verifiable RTL ===\n")
+    print(emit_hierarchy(wrapper))
+
+    print("\n=== Design impact of the injection feature ===")
+    increase = area_increase(base, verifiable)
+    timing = selector_impact(base, verifiable)
+    print(f"area: {increase.base.gate_equivalents:.1f} GE -> "
+          f"{increase.verifiable.gate_equivalents:.1f} GE "
+          f"(+{increase.percent:.2f}%, {increase.added_muxes} selectors)")
+    print(f"selector delay: {timing.selector_delay_ps:.0f} ps = "
+          f"{timing.selector_percent_of_cycle:.1f}% of the 4 ns cycle")
+    print(f"critical path: {timing.base.critical_path_ps:.0f} ps -> "
+          f"{timing.verifiable.critical_path_ps:.0f} ps "
+          f"(closes timing: {timing.closes_timing})")
+    print("\nNote: on a tiny demonstration module the selectors are a "
+          "visible fraction of the area; at implementation scale "
+          "(benchmarks/test_table4_area.py) the increase drops below "
+          "the paper's 2% bound.")
+
+
+if __name__ == "__main__":
+    main()

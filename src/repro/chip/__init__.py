@@ -1,0 +1,46 @@
+"""The synthetic server-platform component chip: leaf-module library,
+blocks A-E engineered to the paper's Table 2 statistics, and the seven
+seeded defects of Table 3."""
+
+from .library import (
+    CTRL, DATA, WORD, LeafConfig, canonical_leaf, generic_leaf,
+    merge_words, rot1, rotate_data, rotate_word,
+)
+from .specials import (
+    ARM_ADDRESS, ARM_DATA_NIBBLE, B5_CASE, B5_DATA, B6_CASE, B6_DATA,
+    DECODER_VALID_CASES, REGFILE_ADDRESSES, RESERVED_MASK,
+    RESERVED_REGISTER, address_decoder, fsm_controller, macro_interface,
+    pipeline_stage, register_file, wrap_counter,
+)
+from .spec import (
+    BLOCK_D_SHAPES, TABLE2_BUGS, TABLE2_TARGETS, TOTAL_CHECKPOINTS,
+    TOTAL_PROPERTIES, TOTAL_SUBMODULES, block_a_generics, block_b_configs,
+    block_c_generics, block_e_generics, config_counts,
+)
+from .defects import ALL_DEFECT_IDS, DEFECTS, DEFECTS_BY_ID, defects_in_blocks
+from .blocks import (
+    BLOCK_BUILDERS, build_block_a, build_block_b, build_block_c,
+    build_block_d, build_block_e, build_blocks,
+)
+from .chip import ChipStats, ComponentChip
+from .impl_view import (
+    TABLE4_LANES, TABLE4_PAPER, synthesis_view, table4_modules,
+)
+
+__all__ = [
+    "CTRL", "DATA", "WORD", "LeafConfig", "canonical_leaf", "generic_leaf",
+    "merge_words", "rot1", "rotate_data", "rotate_word",
+    "ARM_ADDRESS", "ARM_DATA_NIBBLE", "B5_CASE", "B5_DATA", "B6_CASE",
+    "B6_DATA", "DECODER_VALID_CASES", "REGFILE_ADDRESSES", "RESERVED_MASK",
+    "RESERVED_REGISTER", "address_decoder", "fsm_controller",
+    "macro_interface", "pipeline_stage", "register_file", "wrap_counter",
+    "BLOCK_D_SHAPES", "TABLE2_BUGS", "TABLE2_TARGETS", "TOTAL_CHECKPOINTS",
+    "TOTAL_PROPERTIES", "TOTAL_SUBMODULES", "block_a_generics",
+    "block_b_configs", "block_c_generics", "block_e_generics",
+    "config_counts",
+    "ALL_DEFECT_IDS", "DEFECTS", "DEFECTS_BY_ID", "defects_in_blocks",
+    "BLOCK_BUILDERS", "build_block_a", "build_block_b", "build_block_c",
+    "build_block_d", "build_block_e", "build_blocks",
+    "ChipStats", "ComponentChip",
+    "TABLE4_LANES", "TABLE4_PAPER", "synthesis_view", "table4_modules",
+]

@@ -1,0 +1,99 @@
+"""Block assembly: base modules per block, made verifiable for the
+campaign.
+
+Each ``build_block_*`` returns the block's leaf modules in Verifiable
+RTL form (error-injection ports inserted per the integrity spec).  Pass
+the defect ids to seed (``{'B1', 'B5'}`` etc., or
+:data:`~repro.chip.defects.ALL_DEFECT_IDS`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..rtl.inject import make_verifiable
+from ..rtl.module import Module
+from .library import LeafConfig, generic_leaf
+from .specials import (
+    B5_CASE, B5_DATA, B6_CASE, B6_DATA, address_decoder, fsm_controller,
+    macro_interface, pipeline_stage, register_file, wrap_counter,
+)
+from .spec import (
+    BLOCK_D_SHAPES, block_a_generics, block_b_configs, block_c_generics,
+    block_e_generics,
+)
+
+
+def _verifiable(module: Module) -> Module:
+    """Insert error injection, preserving defect/sim-view attributes."""
+    verifiable = make_verifiable(module)
+    sim_base = module.attrs.get("sim_view_base")
+    if sim_base is not None:
+        verifiable.attrs["sim_view"] = make_verifiable(sim_base)
+        del verifiable.attrs["sim_view_base"]
+    return verifiable
+
+
+def build_block_a(defects: Set[str] = frozenset()) -> List[Module]:
+    """Block A: control/CSR cluster — 19 leafs, hosts B0, B1, B3."""
+    modules = [
+        wrap_counter("A00_wrapcnt", buggy="B0" in defects),
+        register_file("A01_regfile", buggy="B1" in defects),
+        macro_interface("A02_macro", buggy="B3" in defects),
+    ]
+    modules.extend(generic_leaf(cfg) for cfg in block_a_generics())
+    return [_verifiable(m) for m in modules]
+
+
+def build_block_b(defects: Set[str] = frozenset()) -> List[Module]:
+    """Block B: crossbar datapaths — 2 wide leafs, no bugs."""
+    return [_verifiable(generic_leaf(cfg)) for cfg in block_b_configs()]
+
+
+def build_block_c(defects: Set[str] = frozenset()) -> List[Module]:
+    """Block C: request handling — 13 leafs, hosts B2."""
+    modules = [fsm_controller("C00_fsmctl", buggy="B2" in defects)]
+    modules.extend(generic_leaf(cfg) for cfg in block_c_generics())
+    return [_verifiable(m) for m in modules]
+
+
+def build_block_d(defects: Set[str] = frozenset()) -> List[Module]:
+    """Block D: wide merge datapaths — 3 leafs, hosts B4."""
+    modules = []
+    for name, (dp, cnt, inputs, he, outs, onehot) in BLOCK_D_SHAPES:
+        modules.append(pipeline_stage(
+            name, datapaths=dp, counters=cnt, input_groups=inputs,
+            he=he, output_groups=outs, onehot=onehot,
+            buggy=(name == "D01_merge" and "B4" in defects),
+        ))
+    return [_verifiable(m) for m in modules]
+
+
+def build_block_e(defects: Set[str] = frozenset()) -> List[Module]:
+    """Block E: link/port array — 58 leafs, hosts B5 and B6."""
+    modules = [
+        address_decoder("E00_dec", B5_CASE, B5_DATA, "B5",
+                        buggy="B5" in defects),
+        address_decoder("E01_dec", B6_CASE, B6_DATA, "B6",
+                        buggy="B6" in defects),
+    ]
+    modules.extend(generic_leaf(cfg) for cfg in block_e_generics())
+    return [_verifiable(m) for m in modules]
+
+
+BLOCK_BUILDERS = {
+    "A": build_block_a,
+    "B": build_block_b,
+    "C": build_block_c,
+    "D": build_block_d,
+    "E": build_block_e,
+}
+
+
+def build_blocks(defects: Iterable[str] = (),
+                 only: Optional[Iterable[str]] = None
+                 ) -> List["tuple[str, List[Module]]"]:
+    """Build (block name, modules) pairs, optionally a subset."""
+    wanted = set(defects)
+    names = list(only) if only is not None else list(BLOCK_BUILDERS)
+    return [(name, BLOCK_BUILDERS[name](wanted)) for name in names]

@@ -1,0 +1,102 @@
+"""The component chip: top-level assembly and statistics.
+
+:class:`ComponentChip` bundles the five blocks, exposes the campaign
+interface (block/leaf listing), the silicon hierarchy (wrappers tying
+the injection ports to zero, per Figure 6), and implementation
+statistics in the shape of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.checkpoints import count_checkpoints
+from ..rtl.inject import make_wrapper
+from ..rtl.module import Module
+from .blocks import build_blocks
+from .defects import ALL_DEFECT_IDS
+
+
+@dataclass
+class ChipStats:
+    """Implementation overview (our Table 1 analogue)."""
+
+    leaf_modules: int
+    state_bits: int
+    gate_equivalents: float
+    detection_checkpoints: int
+    core_frequency_mhz: float = 250.0
+
+    def rows(self) -> List[Tuple[str, str]]:
+        return [
+            ("Leaf modules", str(self.leaf_modules)),
+            ("State bits", str(self.state_bits)),
+            ("Logic size", f"{self.gate_equivalents / 1000.0:.1f} kGE"),
+            ("Integrity checkpoints", str(self.detection_checkpoints)),
+            ("Core frequency", f"{self.core_frequency_mhz:.0f} MHz"),
+        ]
+
+
+class ComponentChip:
+    """The synthetic server-platform component chip."""
+
+    def __init__(self, defects: Iterable[str] = (),
+                 only_blocks: Optional[Iterable[str]] = None) -> None:
+        self.defects: Set[str] = set(defects)
+        unknown = self.defects - ALL_DEFECT_IDS
+        if unknown:
+            raise ValueError(f"unknown defect ids: {sorted(unknown)}")
+        self.blocks: List[Tuple[str, List[Module]]] = build_blocks(
+            self.defects, only=only_blocks
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def golden(cls) -> "ComponentChip":
+        """The corrected (bug-free) chip."""
+        return cls()
+
+    @classmethod
+    def with_all_defects(cls) -> "ComponentChip":
+        """The pre-fix chip carrying all seven logic bugs."""
+        return cls(defects=ALL_DEFECT_IDS)
+
+    # ------------------------------------------------------------------
+    def leaf_modules(self) -> List[Module]:
+        return [m for _, mods in self.blocks for m in mods]
+
+    def module_named(self, name: str) -> Module:
+        for module in self.leaf_modules():
+            if module.name == name:
+                return module
+        raise KeyError(f"no leaf module named {name!r}")
+
+    def block_of(self, module_name: str) -> str:
+        for block, mods in self.blocks:
+            if any(m.name == module_name for m in mods):
+                return block
+        raise KeyError(f"no leaf module named {module_name!r}")
+
+    # ------------------------------------------------------------------
+    def silicon_hierarchy(self) -> List[Module]:
+        """Wrapper modules (injection ports tied to zero) — what goes to
+        the physical flow, per Figure 6."""
+        return [make_wrapper(m) for m in self.leaf_modules()]
+
+    def stats(self) -> ChipStats:
+        from ..rtl.elaborate import elaborate
+        from ..synth.area import AreaReport
+        leaves = self.leaf_modules()
+        state_bits = 0
+        gate_equivalents = 0.0
+        for module in leaves:
+            design = elaborate(module)
+            state_bits += design.state_bits()
+            gate_equivalents += AreaReport.of_module(module).gate_equivalents
+        return ChipStats(
+            leaf_modules=len(leaves),
+            state_bits=state_bits,
+            gate_equivalents=gate_equivalents,
+            detection_checkpoints=count_checkpoints(leaves),
+        )

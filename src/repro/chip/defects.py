@@ -1,0 +1,97 @@
+"""The seven seeded logic bugs (paper Table 3).
+
+``DEFECTS`` is the ground-truth catalogue; the benches derive the
+measured Table 3 from campaign runs and compare against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from ..core.bugs import Defect
+
+ALL_DEFECT_IDS: FrozenSet[str] = frozenset(
+    {"B0", "B1", "B2", "B3", "B4", "B5", "B6"}
+)
+
+DEFECTS: List[Defect] = [
+    Defect(
+        defect_id="B0",
+        block="A",
+        module_name="A00_wrapcnt",
+        property_type="P1",
+        sim_easy=True,
+        description="counter parity bit not maintained on wrap; fires "
+                    "in normal operation within a few dozen cycles",
+    ),
+    Defect(
+        defect_id="B1",
+        block="A",
+        module_name="A01_regfile",
+        property_type="P1",
+        sim_easy=False,
+        description="non-zero write into a reserved register field "
+                    "stores inconsistent parity, but only after an "
+                    "arming write sequence — the triggering scenario is "
+                    "too complicated for random simulation",
+    ),
+    Defect(
+        defect_id="B2",
+        block="C",
+        module_name="C00_fsmctl",
+        property_type="P1",
+        sim_easy=True,
+        description="FSM parity recomputed from the current state on "
+                    "the grant transition; the first granted request "
+                    "corrupts the stored word",
+    ),
+    Defect(
+        defect_id="B3",
+        block="A",
+        module_name="A02_macro",
+        property_type="P0",
+        sim_easy=False,
+        description="interface trusts a hard-macro signal before it is "
+                    "guaranteed after reset; the macro's wrong "
+                    "behavioural model makes the hole invisible to "
+                    "simulation",
+    ),
+    Defect(
+        defect_id="B4",
+        block="D",
+        module_name="D01_merge",
+        property_type="P2",
+        sim_easy=True,
+        description="pipeline output parity recomputed over a wrong "
+                    "slice whenever a common select bit is high",
+    ),
+    Defect(
+        defect_id="B5",
+        block="E",
+        module_name="E00_dec",
+        property_type="P2",
+        sim_easy=False,
+        description="address decoder (91 valid cases of an 8-bit "
+                    "space): output parity wrong for case 37, and only "
+                    "for one data byte pattern",
+    ),
+    Defect(
+        defect_id="B6",
+        block="E",
+        module_name="E01_dec",
+        property_type="P2",
+        sim_easy=False,
+        description="address decoder: output parity wrong for case 73, "
+                    "and only for one data byte pattern",
+    ),
+]
+
+DEFECTS_BY_ID: Dict[str, Defect] = {d.defect_id: d for d in DEFECTS}
+
+
+def defects_in_blocks() -> Dict[str, int]:
+    """Bug count per block — the '# of Bug' column of Table 2."""
+    counts: Dict[str, int] = {}
+    for defect in DEFECTS:
+        counts[defect.block] = counts.get(defect.block, 0) + 1
+    return counts

@@ -1,0 +1,93 @@
+"""Implementation-scale synthesis views (the Table 4 study).
+
+The leaf modules used by the formal campaign are deliberately tiny —
+the methodology *wants* leaf modules small enough for model checking.
+The paper's physical modules, however, carry far more combinational
+logic per protected register (hundreds of thousands of gates), which is
+why the per-register injection selector costs less than 2% of area.
+
+A *synthesis view* restores that logic-to-state ratio: the module keeps
+exactly the same protected entities (hence the same number of injection
+selectors after ``make_verifiable``), while every protected output is
+additionally processed by ``lanes`` parallel four-stage XOR/AND/rotate
+transform lanes, folded back in parity-neutral pairs.  The lanes are
+plain feed-forward logic: they deepen the module by a few gate levels
+only (no long carry chains), so the 250 MHz cycle still closes.
+
+Lane counts per block are calibrated so the module areas have the same
+order of magnitude relationship as the paper's modules; the <2% ceiling
+and the A > B > D overhead ordering are then *measured*, not asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..rtl.inject import _clone_leaf
+from ..rtl.module import Module
+from ..rtl.parity import protect
+from ..rtl.signals import Expr, const, mask
+from .library import rot1
+
+
+def _transform_stage(lane: Expr, data: Expr, salt: int) -> Expr:
+    """One lane stage: cheap, shallow, parity-irrelevant logic."""
+    width = lane.width
+    mixed = rot1(lane ^ const(salt & mask(width), width))
+    return mixed ^ (data & const((salt * 73 + 41) & mask(width), width))
+
+
+def _lane(data: Expr, lane_index: int, depth: int) -> Expr:
+    lane = data
+    for stage in range(depth):
+        lane = _transform_stage(lane, data, lane_index * 131 + stage * 17 + 3)
+    return lane
+
+
+def synthesis_view(module: Module, lanes: int, depth: int = 4) -> Module:
+    """Clone ``module`` with ``lanes`` processing lanes per protected
+    output (``lanes`` must be even so the XOR fold stays odd-parity)."""
+    if lanes % 2 != 0:
+        raise ValueError("lane count must be even to preserve parity")
+    clone, _ = _clone_leaf(module)
+    spec = clone.integrity
+    for group in spec.protected_outputs:
+        word = clone.outputs[group.signal]
+        data_width = word.width - 1
+        data = word[0:data_width]
+        folded = word
+        for index in range(lanes):
+            folded = folded ^ protect(_lane(data, index, depth))
+        clone.outputs[group.signal] = folded
+    clone.attrs = dict(module.attrs)
+    clone.attrs["synthesis_view"] = True
+    return clone
+
+
+#: calibrated lane counts per representative block module
+TABLE4_LANES: Dict[str, int] = {"A": 6, "B": 4, "D": 16}
+
+#: the paper's Table 4 rows for side-by-side reporting
+TABLE4_PAPER: Dict[str, float] = {"A": 1.4, "B": 0.4, "D": 0.2}
+
+
+def table4_modules() -> Dict[str, Tuple[Module, Module]]:
+    """(base, verifiable) synthesis views of representative modules of
+    blocks A, B and D — the three modules the paper reports."""
+    from ..rtl.inject import make_verifiable
+    from .library import generic_leaf
+    from .spec import block_a_generics, block_b_configs
+    from .specials import pipeline_stage
+
+    representatives = {
+        "A": generic_leaf(block_a_generics()[0]),
+        "B": generic_leaf(block_b_configs()[0]),
+        "D": pipeline_stage("D00_merge", datapaths=18, counters=2,
+                            input_groups=3, he=15, output_groups=46,
+                            onehot=2),
+    }
+    views = {}
+    for block, base in representatives.items():
+        view = synthesis_view(base, TABLE4_LANES[block])
+        views[block] = (view, make_verifiable(view))
+    return views

@@ -1,0 +1,355 @@
+"""Leaf-module library of the synthetic component chip.
+
+Every generator returns a *base* (pre-injection) leaf module carrying a
+complete :class:`~repro.rtl.integrity.IntegritySpec`; callers apply
+:func:`~repro.rtl.inject.make_verifiable` to obtain the Verifiable RTL
+the formal campaign consumes (``blocks.py`` does this for the chip).
+
+The module styles mirror the target chip's RAS implementation rules
+(paper section 2):
+
+- every FSM, counter and datapath register stores odd parity with its
+  data;
+- control structures (FSMs, counters) recompute parity from the next
+  value; datapath registers let parity travel with the word;
+- integrity violations on stored words are reported combinationally,
+  violations on input words through a one-cycle error-log flag — both
+  reach the hardware error report one cycle after the violating value
+  appears (the ``-> next HE`` stereotype timing);
+- data transformations are parity-neutral: bit rotations preserve the
+  population count, and XOR-merges of an odd number of odd-parity words
+  are odd-parity again.
+
+The seven defect hooks (B0..B6) reproduce the root causes described in
+paper section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..rtl.builder import (
+    ProtectedState, he_report, is_any_of, latched_flag, parity_counter,
+    parity_fsm,
+)
+from ..rtl.integrity import (
+    COUNTER, DATAPATH, FSM, IntegritySpec, ParityGroup, ProtectedEntity,
+)
+from ..rtl.module import Module
+from ..rtl.parity import encode_value, odd_parity_bit, parity_ok, protect
+from ..rtl.signals import Const, Expr, cat, const, mux
+
+#: standard protected word: 8 data bits + 1 parity bit
+WORD = 9
+DATA = 8
+#: control entities: 3 data bits + 1 parity bit
+CTRL = 3
+
+
+def rot1(data: Expr) -> Expr:
+    """Rotate a data word left by one bit (population count preserved,
+    so the matching parity bit stays valid)."""
+    width = data.width
+    return cat(data[0:width - 1], data[width - 1])
+
+
+def rotate_data(data: Expr, amount: int) -> Expr:
+    for _ in range(amount % data.width):
+        data = rot1(data)
+    return data
+
+
+def rotate_word(word: Expr, amount: int) -> Expr:
+    """Rotate the data bits of a protected word, keeping its parity bit."""
+    data_width = word.width - 1
+    return cat(word[data_width], rotate_data(word[0:data_width], amount))
+
+
+def merge_words(words: Sequence[Expr]) -> Expr:
+    """XOR-merge an odd number of protected words (odd parity in, odd
+    parity out: the XOR of an odd count of odd-parity words carries an
+    odd number of ones)."""
+    if len(words) % 2 != 1:
+        raise ValueError("merge an odd number of protected words")
+    merged = words[0]
+    for word in words[1:]:
+        merged = merged ^ word
+    return merged
+
+
+# ----------------------------------------------------------------------
+# generic configurable leaf
+# ----------------------------------------------------------------------
+
+@dataclass
+class LeafConfig:
+    """Shape of one generic leaf module.
+
+    The stereotype-property arithmetic (Table 2) follows directly:
+    P0 = fsm + counter + datapath + onehot + input_groups,
+    P1 = he, P2 = output_groups, P3 = onehot (one legality property per
+    one-hot machine).
+    """
+
+    name: str
+    fsm: int = 0
+    counter: int = 0
+    datapath: int = 0
+    onehot: int = 0          # one-hot FSMs carrying a P3 legality property
+    input_groups: int = 1
+    he: int = 1
+    output_groups: int = 1
+
+    @property
+    def entities(self) -> int:
+        return self.fsm + self.counter + self.datapath + self.onehot
+
+    @property
+    def p0(self) -> int:
+        return self.entities + self.input_groups
+
+    @property
+    def p1(self) -> int:
+        return self.he
+
+    @property
+    def p2(self) -> int:
+        return self.output_groups
+
+    @property
+    def p3(self) -> int:
+        return self.onehot
+
+    def validate(self) -> None:
+        flags = self.entities + self.input_groups
+        if not 1 <= self.he <= flags:
+            raise ValueError(
+                f"{self.name}: {self.he} HE signals need at least as many "
+                f"failure flags (have {flags})"
+            )
+        if self.input_groups < 1:
+            raise ValueError(f"{self.name}: at least one input group")
+        if self.entities < 1:
+            raise ValueError(f"{self.name}: at least one protected entity")
+
+
+ONE_HOT_CODES = (0b0001, 0b0010, 0b0100, 0b1000)
+
+
+def generic_leaf(cfg: LeafConfig) -> Module:
+    """Build a generic leaf module from its configuration."""
+    cfg.validate()
+    m = Module(cfg.name)
+    inputs = [m.input(f"IN{g}", WORD) for g in range(cfg.input_groups)]
+    in_data = [port[0:DATA] for port in inputs]
+
+    def steer(index: int) -> Expr:
+        """A control bit derived from the input groups."""
+        port = in_data[index % cfg.input_groups]
+        return port[index % DATA]
+
+    fail_flags: List[Expr] = []
+    entities: List[ProtectedEntity] = []
+    ec_index = 0
+
+    for k in range(cfg.fsm):
+        fsm = parity_fsm(m, f"FSM{k}", CTRL, reset_state=0)
+        step = steer(k)
+        fsm.drive(mux(step, fsm.data + 1, fsm.data ^ const(k % 8, CTRL)))
+        fail_flags.append(fsm.check_fail())
+        entities.append(ProtectedEntity(f"fsm{k}", fsm.reg.name, FSM,
+                                        ec_index))
+        ec_index += 1
+
+    for k in range(cfg.counter):
+        counter = parity_counter(m, f"CNT{k}", CTRL, enable=steer(k + 1))
+        fail_flags.append(counter.check_fail())
+        entities.append(ProtectedEntity(f"cnt{k}", counter.reg.name,
+                                        COUNTER, ec_index))
+        ec_index += 1
+
+    datapaths: List[ProtectedState] = []
+    for k in range(cfg.datapath):
+        dp = ProtectedState(m, f"DP{k}", DATA)
+        if k < cfg.input_groups:
+            dp.drive_word(inputs[k])
+        else:
+            dp.drive_word(rotate_word(datapaths[k - 1].word, 1))
+        datapaths.append(dp)
+        fail_flags.append(dp.check_fail())
+        entities.append(ProtectedEntity(f"dp{k}", dp.reg.name, DATAPATH,
+                                        ec_index))
+        ec_index += 1
+
+    legal_outputs: List[str] = []
+    for k in range(cfg.onehot):
+        machine = ProtectedState(m, f"OH{k}", 4,
+                                 reset_data=ONE_HOT_CODES[0])
+        machine.drive(mux(steer(k + 2), rot1(machine.data), machine.data))
+        fail_flags.append(machine.check_fail())
+        entities.append(ProtectedEntity(f"oh{k}", machine.reg.name, FSM,
+                                        ec_index))
+        ec_index += 1
+        legal_name = f"LEGAL{k}"
+        m.output(legal_name, is_any_of(machine.data, ONE_HOT_CODES))
+        legal_outputs.append(legal_name)
+
+    for g, port in enumerate(inputs):
+        fail_flags.append(latched_flag(m, f"IERR{g}", ~parity_ok(port)))
+
+    he_names = _report_errors(m, fail_flags, cfg.he)
+    output_groups = _drive_outputs(m, cfg.output_groups, datapaths, in_data)
+
+    m.integrity = IntegritySpec(
+        protected_inputs=[ParityGroup(f"IN{g}")
+                          for g in range(cfg.input_groups)],
+        protected_outputs=output_groups,
+        entities=entities,
+        he_signals=he_names,
+        extra_properties=[
+            (f"pLegal{k}", f"always ( LEGAL{k} )")
+            for k in range(cfg.onehot)
+        ],
+    )
+    return m
+
+
+def _report_errors(m: Module, fail_flags: List[Expr], he_count: int
+                   ) -> List[str]:
+    """Distribute failure flags round-robin over the HE report outputs."""
+    buckets: List[List[Expr]] = [[] for _ in range(he_count)]
+    for index, flag in enumerate(fail_flags):
+        buckets[index % he_count].append(flag)
+    names: List[str] = []
+    for index, bucket in enumerate(buckets):
+        name = "HE" if he_count == 1 else f"HE{index}"
+        he_report(m, name, bucket)
+        names.append(name)
+    return names
+
+
+def _drive_outputs(m: Module, count: int,
+                   datapaths: List[ProtectedState],
+                   in_data: List[Expr]) -> List[ParityGroup]:
+    """Drive ``count`` protected output words.
+
+    Outputs cycle through the datapath registers with increasing
+    rotation (pass-through style: the stored parity travels); modules
+    without datapath state re-protect a combinational function of the
+    inputs (recomputed-parity style).
+    """
+    groups: List[ParityGroup] = []
+    for j in range(count):
+        name = f"OUT{j}"
+        if datapaths:
+            source = datapaths[j % len(datapaths)]
+            word = rotate_word(source.word, j // len(datapaths))
+        else:
+            data = in_data[j % len(in_data)]
+            word = protect(rotate_data(data, j) ^ const(j % 251, DATA))
+        m.output(name, word)
+        groups.append(ParityGroup(name))
+    return groups
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — the canonical leaf module used throughout the paper
+# ----------------------------------------------------------------------
+
+def canonical_leaf(name: str = "M") -> Module:
+    """The typical leaf module of Figure 1: one parity-protected FSM
+    (state A), one protected datapath register (state B), two integrity
+    check points feeding the HE report, primary input I and output O."""
+    m = Module(name)
+    i = m.input("I", WORD)
+    fsm = parity_fsm(m, "A", CTRL, reset_state=0)
+    fsm.drive(mux(i[0], fsm.data + 1, fsm.data))
+    b = ProtectedState(m, "B", DATA)
+    b.drive_word(i)
+    input_flag = latched_flag(m, "IERR", ~parity_ok(i))
+    he_report(m, "HE", [fsm.check_fail(), b.check_fail(), input_flag])
+    m.output("O", rotate_word(b.word, 1))
+    m.integrity = IntegritySpec(
+        protected_inputs=[ParityGroup("I")],
+        protected_outputs=[ParityGroup("O")],
+        entities=[
+            ProtectedEntity("stateA", "A", FSM, 0),
+            ProtectedEntity("dataB", "B", DATAPATH, 1),
+        ],
+        he_signals=["HE"],
+    )
+    return m
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — the divide-and-conquer workload
+# ----------------------------------------------------------------------
+
+def fig7_module(name: str = "D_wide", data_width: int = 16,
+                depth: int = 5) -> Module:
+    """The wide merge datapath of Figure 7.
+
+    Three parallel pipelines (Data A, B, C) of ``depth`` stages of
+    ``data_width + 1``-bit protected words feed check point D: a merge
+    register capturing the XOR of the three chain ends.  The output
+    integrity property of ``OUT_D`` has the whole module in its cone —
+    the shape whose monolithic model check times out in the paper — and
+    divides naturally at the chain-end checkpoints A', B', C'
+    (:func:`fig7_cut_registers`).
+    """
+    m = Module(name)
+    width = data_width + 1
+    chains = {}
+    entities: List[ProtectedEntity] = []
+    fail_flags: List[Expr] = []
+    ec_index = 0
+    inputs = {}
+    for channel in ("A", "B", "C"):
+        port = m.input(f"IN_{channel}", width)
+        inputs[channel] = port
+        stages: List[ProtectedState] = []
+        for k in range(depth):
+            stage = ProtectedState(m, f"{channel}{k}", data_width)
+            if k == 0:
+                stage.drive_word(port)
+            else:
+                stage.drive_word(rotate_word(stages[k - 1].word, 1))
+            stages.append(stage)
+            fail_flags.append(stage.check_fail())
+            entities.append(ProtectedEntity(
+                f"{channel.lower()}{k}", stage.reg.name, DATAPATH, ec_index
+            ))
+            ec_index += 1
+        chains[channel] = stages
+
+    merge = ProtectedState(m, "D", data_width)
+    merge.drive_word(merge_words([chains[c][-1].word for c in "ABC"]))
+    fail_flags.append(merge.check_fail())
+    entities.append(ProtectedEntity("d", "D", DATAPATH, ec_index))
+    ec_index += 1
+
+    for channel in ("A", "B", "C"):
+        fail_flags.append(
+            latched_flag(m, f"IERR_{channel}",
+                         ~parity_ok(inputs[channel]))
+        )
+    he_report(m, "HE", fail_flags)
+    m.output("OUT_D", merge.word)
+
+    m.integrity = IntegritySpec(
+        protected_inputs=[ParityGroup(f"IN_{c}") for c in "ABC"],
+        protected_outputs=[ParityGroup("OUT_D")],
+        entities=entities,
+        he_signals=["HE"],
+    )
+    return m
+
+
+def fig7_cut_registers(module: Module) -> List[str]:
+    """The chain-end checkpoint registers (A', B', C' of Figure 7)."""
+    depth = max(
+        int(ent.reg_name[1:]) for ent in module.integrity.entities
+        if ent.reg_name[0] in "ABC"
+    )
+    return [f"{channel}{depth}" for channel in "ABC"]

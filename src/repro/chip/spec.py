@@ -1,0 +1,143 @@
+"""Chip specification: block structure and property budget.
+
+The synthetic chip is engineered to the *published statistics* of the
+paper's component chip (Table 2): 95 leaf modules in five blocks with
+exactly
+
+======  =====  ====  ====  ====  ====  =====
+Block   #Sub   P0    P1    P2    P3    Total
+======  =====  ====  ====  ====  ====  =====
+A       19     204   23    113   15    355
+B       2      25    23    82    0     130
+C       13     43    20    38    0     101
+D       3      70    46    137   6     259
+E       58     964   88    150   0     1202
+Total   95     1306  200   520   21    2047
+======  =====  ====  ====  ====  ====  =====
+
+The per-module shapes below were chosen so every column sums exactly;
+``tests/test_chip_spec.py`` asserts the arithmetic and the generated
+modules' real property counts against this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .library import LeafConfig
+
+#: Table 2 targets: block -> (subs, P0, P1, P2, P3)
+TABLE2_TARGETS: Dict[str, Tuple[int, int, int, int, int]] = {
+    "A": (19, 204, 23, 113, 15),
+    "B": (2, 25, 23, 82, 0),
+    "C": (13, 43, 20, 38, 0),
+    "D": (3, 70, 46, 137, 6),
+    "E": (58, 964, 88, 150, 0),
+}
+
+#: paper-reported bug counts per block
+TABLE2_BUGS: Dict[str, int] = {"A": 3, "B": 0, "C": 1, "D": 1, "E": 2}
+
+TOTAL_PROPERTIES = 2047
+TOTAL_SUBMODULES = 95
+TOTAL_CHECKPOINTS = 1306      # "more than 1300 checkpoints" (section 2)
+
+
+def block_a_generics() -> List[LeafConfig]:
+    """16 generic leafs of block A (3 specials host B0/B1/B3).
+
+    The specials contribute P0 = 7 (regfile) + 4 (macro, which has two
+    protected input groups) + 2 (wrap counter) = 13, so the generics
+    must sum to 191: fifteen leafs at P0 = 12 (2 inputs + 10 entities)
+    and one at P0 = 11.  The first 15 carry a one-hot machine (one P3
+    property each -> 15).  P1: four leafs report on two HE signals,
+    twelve on one (3 + 20 = 23 with the specials).  P2: eleven leafs
+    drive 7 output groups, five drive 6 (6 + 107 = 113 with the
+    specials).
+    """
+    configs: List[LeafConfig] = []
+    for k in range(16):
+        onehot = 1 if k < 15 else 0
+        configs.append(LeafConfig(
+            name=f"A{k + 3:02d}_ctl",
+            fsm=3, counter=3, datapath=3, onehot=onehot,
+            input_groups=2,
+            he=2 if k < 4 else 1,
+            output_groups=7 if k < 11 else 6,
+        ))
+    return configs
+
+
+def block_b_configs() -> List[LeafConfig]:
+    """Block B: two wide crossbar datapaths.
+
+    P0 = 12 + 13 = 25, P1 = 11 + 12 = 23, P2 = 41 + 41 = 82.
+    """
+    return [
+        LeafConfig(name="B00_xbar", fsm=0, counter=0, datapath=10,
+                   input_groups=2, he=11, output_groups=41),
+        LeafConfig(name="B01_xbar", fsm=0, counter=0, datapath=11,
+                   input_groups=2, he=12, output_groups=41),
+    ]
+
+
+def block_c_generics() -> List[LeafConfig]:
+    """12 generic leafs of block C (one special hosts B2).
+
+    P0: three leafs at 4 (2 inputs + 2 entities), nine at 3
+    (4 + 12 + 27 = 43 with the special).  P1: six leafs on two HE
+    signals, six on one (2 + 18 = 20).  P2: three output groups each
+    (2 + 36 = 38).
+    """
+    configs: List[LeafConfig] = []
+    for k in range(12):
+        two_inputs = k < 3
+        configs.append(LeafConfig(
+            name=f"C{k + 1:02d}_ctl",
+            fsm=1, counter=1, datapath=0,
+            input_groups=2 if two_inputs else 1,
+            he=2 if k < 6 else 1,
+            output_groups=3,
+        ))
+    return configs
+
+
+#: Block D pipeline shapes: (datapaths, counters, inputs, he, outputs,
+#: onehot) — P0 per module = dp + cnt + onehot + inputs.
+BLOCK_D_SHAPES: List[Tuple[str, Tuple[int, int, int, int, int, int]]] = [
+    ("D00_merge", (18, 2, 3, 15, 46, 2)),   # P0 25, P1 15, P2 46, P3 2
+    ("D01_merge", (16, 2, 3, 15, 46, 2)),   # P0 23 (hosts B4)
+    ("D02_merge", (15, 2, 3, 16, 45, 2)),   # P0 22
+]
+
+
+def block_e_generics() -> List[LeafConfig]:
+    """56 generic port handlers of block E (two decoders host B5/B6).
+
+    P0: four leafs at 18 (2 inputs + 16 entities), fifty-two at 17
+    (8 + 72 + 884 = 964 with the decoders).  P1: thirty leafs on two HE
+    signals, twenty-six on one (2 + 86 = 88).  P2: thirty-four leafs
+    with 3 output groups, twenty-two with 2 (4 + 146 = 150).
+    """
+    configs: List[LeafConfig] = []
+    for k in range(56):
+        big = k < 4
+        configs.append(LeafConfig(
+            name=f"E{k + 2:02d}_port",
+            fsm=6, counter=6 if big else 5, datapath=4,
+            input_groups=2,
+            he=2 if k < 30 else 1,
+            output_groups=3 if k < 34 else 2,
+        ))
+    return configs
+
+
+def config_counts(configs: List[LeafConfig]) -> Tuple[int, int, int, int]:
+    """(P0, P1, P2, P3) sums of a config list."""
+    return (
+        sum(c.p0 for c in configs),
+        sum(c.p1 for c in configs),
+        sum(c.p2 for c in configs),
+        sum(c.p3 for c in configs),
+    )

@@ -1,0 +1,451 @@
+"""Specialised leaf modules hosting the seven seeded defects.
+
+Each builder reproduces the root cause of one bug from paper section
+6.2.  Passing ``buggy=False`` yields the corrected design (every
+property passes); ``buggy=True`` seeds the defect and tags the module
+with ``attrs['defect']``.
+
+========  =====  ======================================================
+Defect    Type   Root cause (paper section 6.2)
+========  =====  ======================================================
+B0        P1     counter parity not maintained on a common transition
+B1        P1     write to a register's reserved field breaks the
+                 stored parity — only under a complicated arm/strike
+                 write sequence
+B2        P1     FSM parity recomputed from the *current* state instead
+                 of the next state on one transition
+B3        P0     logic trusts a hard-macro signal right after reset;
+                 the macro's (wrong) behavioural model hides it from
+                 simulation
+B4        P2     pipeline output parity recomputed from the wrong slice
+                 for a common select value
+B5, B6    P2     address decoder with 91 valid cases of an 8-bit space:
+                 data-path parity wrong for exactly one case each,
+                 and only for specific data patterns
+========  =====  ======================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..rtl.builder import (
+    ProtectedState, he_report, is_any_of, latched_flag, parity_counter,
+    parity_fsm,
+)
+from ..rtl.integrity import (
+    COUNTER, DATAPATH, FSM, IntegritySpec, ParityGroup, ProtectedEntity,
+)
+from ..rtl.module import Module
+from ..rtl.parity import encode_value, odd_parity_bit, parity_ok, protect
+from ..rtl.signals import Const, Expr, cat, const, mux
+from .library import CTRL, DATA, WORD, rot1, rotate_data, rotate_word
+
+#: number of valid cases the address decoder recognises (paper: 91)
+DECODER_VALID_CASES = 91
+#: the two miscoded cases (B5 and B6)
+B5_CASE = 37
+B6_CASE = 73
+#: data patterns under which the miscoded parity shows
+B5_DATA = 0x5A
+B6_DATA = 0xB3
+
+#: register-file geometry for B1
+REGFILE_ADDRESSES = (0x10, 0x42, 0xA5, 0xE7)
+RESERVED_REGISTER = 2          # the register at 0xA5 has a reserved field
+RESERVED_MASK = 0xF0           # bits [7:4] are reserved
+ARM_ADDRESS = 0x3C
+ARM_DATA_NIBBLE = 0xA
+
+
+def wrap_counter(name: str, buggy: bool = False) -> Module:
+    """B0 host: an event counter whose parity is recomputed every cycle.
+
+    The defect stores a constant-zero parity bit when the counter wraps,
+    so the first wrap with the enable high corrupts the stored word and
+    the error report fires in normal operation — easy prey for random
+    simulation (the counter wraps every 8 enabled cycles).
+    """
+    m = Module(name)
+    i = m.input("IN0", WORD)
+    enable = i[0]
+    counter = ProtectedState(m, "CNT0", CTRL)
+    incremented = counter.data + const(1, CTRL)
+    next_data = mux(enable, incremented, counter.data)
+    if buggy:
+        wrapping = enable & counter.data.eq(const((1 << CTRL) - 1, CTRL))
+        good_word = protect(next_data)
+        bad_word = cat(Const(0, 1), next_data)   # parity bit stuck at 0
+        counter.drive_word(mux(wrapping, bad_word, good_word))
+    else:
+        counter.drive(next_data)
+    input_flag = latched_flag(m, "IERR0", ~parity_ok(i))
+    he_report(m, "HE", [counter.check_fail(), input_flag])
+    m.output("OUT0", _count_status(counter, i))
+    m.integrity = IntegritySpec(
+        protected_inputs=[ParityGroup("IN0")],
+        protected_outputs=[ParityGroup("OUT0")],
+        entities=[ProtectedEntity("cnt0", "CNT0", COUNTER, 0)],
+        he_signals=["HE"],
+    )
+    if buggy:
+        m.attrs["defect"] = "B0"
+    return m
+
+
+def _count_status(counter: ProtectedState, i: Expr) -> Expr:
+    from ..rtl.signals import zext
+    status = zext(counter.data, DATA) ^ i[0:DATA]
+    return protect(status)
+
+
+def register_file(name: str, buggy: bool = False) -> Module:
+    """B1 host: a config-register file with a reserved field.
+
+    Registers are selected by a full 8-bit decoded address.  The
+    register at ``0xA5`` masks its reserved bits ``[7:4]`` on writes.
+    The defect computes the stored parity over the *unmasked* write
+    data, so a non-zero value written into the reserved field leaves
+    the register with inconsistent parity — but only after an arming
+    write (``0x3C`` with data nibble ``0xA``), which is why the
+    triggering scenario is too complicated for random simulation.
+    """
+    m = Module(name)
+    waddr = m.input("WADDR", WORD)
+    wdata = m.input("WDATA", WORD)
+    wen = m.input("WEN", 1)
+    addr = waddr[0:DATA]
+    data = wdata[0:DATA]
+
+    mode = parity_fsm(m, "MODE", 2, reset_state=0)  # 0=idle, 1=armed
+    arm = wen & addr.eq(const(ARM_ADDRESS, DATA)) \
+        & data[0:4].eq(const(ARM_DATA_NIBBLE, 4))
+    mode.drive(mux(arm, const(1, 2),
+                   mux(wen, const(0, 2), mode.data)))
+    armed = mode.data.eq(const(1, 2))
+
+    fail_flags: List[Expr] = [mode.check_fail()]
+    entities = [ProtectedEntity("mode", "MODE", FSM, 0)]
+    outputs: List[ParityGroup] = []
+    for index, address in enumerate(REGFILE_ADDRESSES):
+        reg = ProtectedState(m, f"R{index}", DATA)
+        selected = wen & addr.eq(const(address, DATA))
+        if index == RESERVED_REGISTER:
+            masked = data & const(0xFF ^ RESERVED_MASK, DATA)
+            good_word = protect(masked)
+            if buggy:
+                # parity taken from the unmasked data: inconsistent
+                # whenever the reserved nibble has odd population
+                bad_word = cat(odd_parity_bit(data), masked)
+                written = mux(armed, bad_word, good_word)
+            else:
+                written = good_word
+        else:
+            written = protect(data)
+        reg.drive_word(mux(selected, written, reg.word))
+        fail_flags.append(reg.check_fail())
+        entities.append(ProtectedEntity(f"r{index}", reg.reg.name,
+                                        DATAPATH, index + 1))
+        out_name = f"RDATA{index}"
+        m.output(out_name, reg.word)
+        outputs.append(ParityGroup(out_name))
+
+    fail_flags.append(latched_flag(m, "IERR_A", ~parity_ok(waddr)))
+    fail_flags.append(latched_flag(m, "IERR_D", ~parity_ok(wdata)))
+    he_report(m, "HE", fail_flags)
+    m.integrity = IntegritySpec(
+        protected_inputs=[ParityGroup("WADDR"), ParityGroup("WDATA")],
+        protected_outputs=outputs,
+        entities=entities,
+        he_signals=["HE"],
+    )
+    if buggy:
+        m.attrs["defect"] = "B1"
+    return m
+
+
+def fsm_controller(name: str, buggy: bool = False) -> Module:
+    """B2 host: a request-handler FSM pair with a shared cycle counter.
+
+    The defect recomputes the stored parity of FSM0 from the *current*
+    state on the grant transition, so the first granted request in
+    normal operation corrupts the stored word — found quickly by any
+    random test."""
+    m = Module(name)
+    i = m.input("IN0", WORD)
+    request = i[0]
+    cancel = i[1]
+
+    fsm0 = ProtectedState(m, "FSM0", CTRL)
+    grant = request & fsm0.data.eq(const(0, CTRL))
+    next0 = mux(grant, const(1, CTRL),
+                mux(cancel, const(0, CTRL), fsm0.data))
+    if buggy:
+        good = protect(next0)
+        # parity of the *current* state pasted onto the next state
+        stale = cat(odd_parity_bit(fsm0.data), next0)
+        fsm0.drive_word(mux(grant, stale, good))
+    else:
+        fsm0.drive(next0)
+
+    fsm1 = parity_fsm(m, "FSM1", CTRL, reset_state=0)
+    fsm1.drive(mux(i[2], fsm1.data + 1, fsm1.data))
+    counter = parity_counter(m, "CNT0", CTRL, enable=request)
+
+    input_flag = latched_flag(m, "IERR0", ~parity_ok(i))
+    he_report(m, "HE0", [fsm0.check_fail(), counter.check_fail()])
+    he_report(m, "HE1", [fsm1.check_fail(), input_flag])
+    from ..rtl.signals import zext
+    m.output("OUT0", protect(zext(fsm0.data, DATA) ^ i[0:DATA]))
+    m.output("OUT1", protect(zext(fsm1.data ^ counter.data, DATA)))
+    m.integrity = IntegritySpec(
+        protected_inputs=[ParityGroup("IN0")],
+        protected_outputs=[ParityGroup("OUT0"), ParityGroup("OUT1")],
+        entities=[
+            ProtectedEntity("fsm0", "FSM0", FSM, 0),
+            ProtectedEntity("fsm1", "FSM1", FSM, 1),
+            ProtectedEntity("cnt0", "CNT0", COUNTER, 2),
+        ],
+        he_signals=["HE0", "HE1"],
+    )
+    if buggy:
+        m.attrs["defect"] = "B2"
+    return m
+
+
+def macro_interface(name: str, buggy: bool = False) -> Module:
+    """B3 host: interface to a hard macro whose output is not guaranteed
+    immediately after reset.
+
+    A ready counter spaces out the settling window (4 cycles).  The
+    interface *accepts* macro data into the chip (re-protecting it with
+    freshly computed parity) and *checks* its parity into the error log.
+    The defect opens the accept window two cycles before the checker is
+    enabled, so corrupted macro data can enter the chip undetected — an
+    error-detection (P0) hole.
+
+    The companion simulation view (``attrs['sim_view']``) replaces the
+    macro input with the testbench's behavioural macro model, which
+    (wrongly) drives valid-parity data from cycle zero — reproducing why
+    this bug was impossible to find by logic simulation.
+    """
+    module = _macro_interface_impl(name, buggy, with_macro_input=True)
+    sim_view = _macro_interface_impl(f"{name}__simview", buggy,
+                                     with_macro_input=False)
+    from ..rtl.inject import make_verifiable
+    module.attrs["sim_view_base"] = sim_view
+    if buggy:
+        module.attrs["defect"] = "B3"
+    return module
+
+
+def _macro_interface_impl(name: str, buggy: bool,
+                          with_macro_input: bool) -> Module:
+    m = Module(name)
+    ctl = m.input("IN0", WORD)          # protected control word
+    if with_macro_input:
+        macro_data = m.input("M_DATA", WORD)
+    else:
+        # behavioural macro model: a rotating pattern, always odd parity
+        model = ProtectedState(m, "MACRO_MODEL", DATA, reset_data=0x2D)
+        model.drive_word(rotate_word(model.word, 1))
+        macro_data = model.word
+
+    ready_cnt = ProtectedState(m, "RDYCNT", CTRL)
+    at_max = ready_cnt.data.eq(const(4, CTRL))
+    ready_cnt.drive(mux(at_max, ready_cnt.data,
+                        ready_cnt.data + const(1, CTRL)))
+    ready = at_max
+    early = ~ready_cnt.data.lt(const(2, CTRL))   # count >= 2
+
+    accept = (early if buggy else ready) & ctl[0]
+    check_enable = ready
+
+    capture = ProtectedState(m, "CAPT", DATA)
+    capture.drive_word(mux(accept, protect(macro_data[0:DATA]),
+                           capture.word))
+
+    macro_flag = latched_flag(m, "MERR",
+                              check_enable & ~parity_ok(macro_data))
+    ctl_flag = latched_flag(m, "IERR0", ~parity_ok(ctl))
+    he_report(m, "HE", [ready_cnt.check_fail(), capture.check_fail(),
+                        macro_flag, ctl_flag])
+    m.output("RDY", ready)
+    m.output("ACC", accept)
+    m.output("OUT0", capture.word)
+
+    spec = IntegritySpec(
+        protected_inputs=[ParityGroup("IN0")],
+        protected_outputs=[ParityGroup("OUT0")],
+        entities=[
+            ProtectedEntity("rdycnt", "RDYCNT", COUNTER, 0),
+            ProtectedEntity("capture", "CAPT", DATAPATH, 1),
+        ],
+        he_signals=["HE"],
+    )
+    if with_macro_input:
+        spec.protected_inputs.append(ParityGroup("M_DATA"))
+        # the macro's datasheet: data carries parity only once ready
+        spec.free_inputs.append("M_DATA")
+        spec.env_assumptions.append(
+            ("pMacroStable", "always ( RDY -> ^M_DATA )")
+        )
+        # detection duty is qualified by the accept window
+        spec.p0_overrides["M_DATA"] = \
+            "always ((ACC & ~(^M_DATA)) -> next HE)"
+    m.integrity = spec
+    return m
+
+
+def pipeline_stage(name: str, datapaths: int, counters: int,
+                   input_groups: int, he: int, output_groups: int,
+                   onehot: int, buggy: bool = False) -> Module:
+    """Block D workhorse: a wide merge datapath (the Figure 7 shape).
+
+    ``datapaths`` protected words flow in chains from the input groups;
+    outputs are rotations and 3-way XOR merges of the stored words.  The
+    B4 defect recomputes one output's parity from a stale slice whenever
+    a common select bit is high — caught by the output-integrity (P2)
+    stereotype and by any random test within a few cycles.
+    """
+    from .library import ONE_HOT_CODES, merge_words
+    m = Module(name)
+    inputs = [m.input(f"IN{g}", WORD) for g in range(input_groups)]
+
+    fail_flags: List[Expr] = []
+    entities: List[ProtectedEntity] = []
+    ec_index = 0
+
+    stages: List[ProtectedState] = []
+    for k in range(datapaths):
+        dp = ProtectedState(m, f"DP{k}", DATA)
+        if k < input_groups:
+            dp.drive_word(inputs[k])
+        else:
+            dp.drive_word(rotate_word(stages[k - 1].word, 1))
+        stages.append(dp)
+        fail_flags.append(dp.check_fail())
+        entities.append(ProtectedEntity(f"dp{k}", dp.reg.name, DATAPATH,
+                                        ec_index))
+        ec_index += 1
+
+    for k in range(counters):
+        counter = parity_counter(m, f"CNT{k}", CTRL,
+                                 enable=inputs[k % input_groups][k % DATA])
+        fail_flags.append(counter.check_fail())
+        entities.append(ProtectedEntity(f"cnt{k}", counter.reg.name,
+                                        COUNTER, ec_index))
+        ec_index += 1
+
+    extra_properties = []
+    for k in range(onehot):
+        machine = ProtectedState(m, f"OH{k}", 4, reset_data=ONE_HOT_CODES[0])
+        machine.drive(mux(inputs[k % input_groups][(k + 3) % DATA],
+                          rot1(machine.data), machine.data))
+        fail_flags.append(machine.check_fail())
+        entities.append(ProtectedEntity(f"oh{k}", machine.reg.name, FSM,
+                                        ec_index))
+        ec_index += 1
+        m.output(f"LEGAL{k}", is_any_of(machine.data, ONE_HOT_CODES))
+        extra_properties.append((f"pLegal{k}", f"always ( LEGAL{k} )"))
+
+    for g, port in enumerate(inputs):
+        fail_flags.append(latched_flag(m, f"IERR{g}", ~parity_ok(port)))
+
+    from .library import _report_errors
+    he_names = _report_errors(m, fail_flags, he)
+
+    outputs: List[ParityGroup] = []
+    select = inputs[0][1]
+    for j in range(output_groups):
+        out_name = f"OUT{j}"
+        if j % 5 == 4 and datapaths >= 3:
+            # 3-way merge outputs — the Figure 7 check point D shape
+            trio = [stages[(j + offset) % datapaths].word
+                    for offset in range(3)]
+            word = merge_words(trio)
+        else:
+            source = stages[j % datapaths]
+            word = rotate_word(source.word, j // datapaths)
+        if buggy and j == 2:
+            # parity recomputed over a wrong slice when select is high;
+            # the three-bit discrepancy mask flips the stored parity
+            data = word[0:DATA]
+            wrong = cat(odd_parity_bit(data ^ const(0x07, DATA)), data)
+            word = mux(select, wrong, word)
+        m.output(out_name, word)
+        outputs.append(ParityGroup(out_name))
+
+    m.integrity = IntegritySpec(
+        protected_inputs=[ParityGroup(f"IN{g}")
+                          for g in range(input_groups)],
+        protected_outputs=outputs,
+        entities=entities,
+        he_signals=he_names,
+        extra_properties=extra_properties,
+    )
+    if buggy:
+        m.attrs["defect"] = "B4"
+    return m
+
+
+def address_decoder(name: str, miscoded_case: int, miscoded_data: int,
+                    defect_id: str, buggy: bool = False) -> Module:
+    """B5/B6 host: an address decoder with 91 valid cases.
+
+    Decodes an 8-bit address space; the 91 valid cases transform the
+    data word with a case-dependent rotation and re-protect it.  The
+    defect inverts the computed parity for exactly one valid case, and
+    only when the incoming data byte matches ``miscoded_data`` — the
+    "depends on the data pattern" condition that defeats anything short
+    of exhaustive simulation.
+    """
+    m = Module(name)
+    addr_in = m.input("ADDR", WORD)
+    data_in = m.input("DIN", WORD)
+
+    addr_reg = ProtectedState(m, "ADDR_R", DATA)
+    addr_reg.drive_word(addr_in)
+    data_reg = ProtectedState(m, "DATA_R", DATA)
+    data_reg.drive_word(data_in)
+
+    addr = addr_reg.data
+    data = data_reg.data
+    valid = addr.lt(const(DECODER_VALID_CASES, DATA))
+
+    # case-dependent transformation: rotation amount = addr[2:0]
+    rotated = data
+    result = data
+    for amount in range(8):
+        match = addr[0:3].eq(const(amount, 3))
+        result = mux(match, rotate_data(data, amount), result)
+    out_word = protect(result ^ addr)
+
+    if buggy:
+        hit = valid & addr.eq(const(miscoded_case, DATA)) \
+            & data.eq(const(miscoded_data, DATA))
+        out_word = mux(hit, out_word ^ const(1 << DATA, WORD), out_word)
+
+    idle = protect(const(0, DATA))
+    m.output("DOUT", mux(valid, out_word, idle))
+    m.output("VLD", valid)
+
+    addr_flag = latched_flag(m, "AERR", ~parity_ok(addr_in))
+    data_flag = latched_flag(m, "DERR", ~parity_ok(data_in))
+    he_report(m, "HE", [addr_reg.check_fail(), data_reg.check_fail(),
+                        addr_flag, data_flag])
+    from ..rtl.signals import zext
+    m.output("STAT", protect(zext(addr[0:4], DATA) ^ data))
+
+    m.integrity = IntegritySpec(
+        protected_inputs=[ParityGroup("ADDR"), ParityGroup("DIN")],
+        protected_outputs=[ParityGroup("DOUT"), ParityGroup("STAT")],
+        entities=[
+            ProtectedEntity("addr_r", "ADDR_R", DATAPATH, 0),
+            ProtectedEntity("data_r", "DATA_R", DATAPATH, 1),
+        ],
+        he_signals=["HE"],
+    )
+    if buggy:
+        m.attrs["defect"] = defect_id
+    return m

@@ -1,0 +1,38 @@
+"""Methodology core: stereotype property generation, scoping,
+divide-and-conquer partitioning, the formal campaign and reporting."""
+
+from .stereotypes import (
+    CATEGORY_TITLES, P0, P1, P2, P3, count_by_category, edetect_vunit,
+    extra_vunit, integrity_vunit, soundness_vunit, stereotype_vunits,
+)
+from .leaf import ScopeEntry, classify, discover_leaves, formal_scope
+from .checkpoints import (
+    Checkpoint, count_checkpoints, detection_checkpoints,
+    enumerate_checkpoints,
+)
+from .partition import (
+    CUT_SUFFIX, PartitionPlan, SubProblem, cut_registers,
+    partition_property,
+)
+from .bugs import BugFinding, Defect, classify_findings
+from .campaign import (
+    BlockSummary, CampaignReport, FormalCampaign, PropertyResult,
+)
+from .report import (
+    format_status_summary, format_table2, format_table3, render_table,
+)
+
+__all__ = [
+    "CATEGORY_TITLES", "P0", "P1", "P2", "P3", "count_by_category",
+    "edetect_vunit", "extra_vunit", "integrity_vunit", "soundness_vunit",
+    "stereotype_vunits",
+    "ScopeEntry", "classify", "discover_leaves", "formal_scope",
+    "Checkpoint", "count_checkpoints", "detection_checkpoints",
+    "enumerate_checkpoints",
+    "CUT_SUFFIX", "PartitionPlan", "SubProblem", "cut_registers",
+    "partition_property",
+    "BugFinding", "Defect", "classify_findings",
+    "BlockSummary", "CampaignReport", "FormalCampaign", "PropertyResult",
+    "format_status_summary", "format_table2", "format_table3",
+    "render_table",
+]

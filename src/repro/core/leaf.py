@@ -1,0 +1,56 @@
+"""Leaf-module discovery and formal-verification scoping.
+
+The methodology applies the stereotype properties to every *leaf*
+(non-structured) module.  A leaf is excluded only when it has no
+internal state and no parity-protected data path (paper section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..rtl.integrity import IntegritySpec
+from ..rtl.module import Module, iter_modules
+
+
+@dataclass
+class ScopeEntry:
+    """Scoping decision for one leaf module."""
+
+    module: Module
+    in_scope: bool
+    reason: str
+
+    @property
+    def spec(self) -> Optional[IntegritySpec]:
+        return self.module.integrity
+
+
+def discover_leaves(top: Module) -> List[Module]:
+    """All distinct leaf modules under (and including) ``top``."""
+    return [m for m in iter_modules(top) if m.is_leaf()]
+
+
+def classify(module: Module) -> ScopeEntry:
+    """Decide whether a leaf module is in the formal scope."""
+    if not module.is_leaf():
+        return ScopeEntry(module, False, "structured (non-leaf) module")
+    spec = module.integrity
+    if spec is None:
+        return ScopeEntry(
+            module, False,
+            "no integrity specification released — nothing to verify"
+        )
+    if not spec.has_checkpoints():
+        return ScopeEntry(
+            module, False,
+            "no internal state and no parity-protected paths"
+        )
+    return ScopeEntry(module, True, "leaf with integrity checkpoints")
+
+
+def formal_scope(modules: List[Module]) -> List[ScopeEntry]:
+    """Scope every module; in-scope entries first, stable order."""
+    entries = [classify(m) for m in modules]
+    return sorted(entries, key=lambda e: not e.in_scope)

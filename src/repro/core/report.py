@@ -1,0 +1,83 @@
+"""Report rendering: the paper's result tables as text.
+
+Formats campaign outcomes in the shape of the paper's Tables 2 and 3 so
+the benchmark harness can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .bugs import BugFinding
+from .campaign import CampaignReport
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Minimal fixed-width ASCII table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_table2(report: CampaignReport) -> str:
+    """Table 2: number of verified properties per block and type."""
+    headers = ["Module Name", "# of Sub", "# of Bug",
+               "P0", "P1", "P2", "P3", "Total"]
+    rows: List[List[object]] = []
+    totals = [0] * 7
+    for name in sorted(report.blocks):
+        block = report.blocks[name]
+        row = [name, block.submodules, block.bugs,
+               block.p0, block.p1, block.p2, block.p3, block.total]
+        rows.append(row)
+        for index, value in enumerate(row[1:]):
+            totals[index] += value
+    rows.append(["Total"] + totals)
+    legend = ("P0: Ability of Error Detection\n"
+              "P1: Soundness of Internal States\n"
+              "P2: Output Data Integrity\n"
+              "P3: Other Properties")
+    return render_table(headers, rows) + "\n" + legend
+
+
+def format_table3(findings: List[BugFinding]) -> str:
+    """Table 3: classification of logic bugs, with measured columns."""
+    from .stereotypes import CATEGORY_TITLES
+    headers = ["Defect ID", "Type of Property",
+               "Sim easy? (paper)", "Found by sim (measured)",
+               "Found by formal (measured)"]
+    rows = []
+    for finding in sorted(findings, key=lambda f: f.defect.defect_id):
+        defect = finding.defect
+        rows.append([
+            defect.defect_id,
+            CATEGORY_TITLES[defect.property_type],
+            "Yes" if defect.sim_easy else "No",
+            "Yes" if finding.found_by_simulation else "No",
+            "Yes" if finding.found_by_formal else "No",
+        ])
+    return render_table(headers, rows)
+
+
+def format_status_summary(report: CampaignReport) -> str:
+    """One-paragraph campaign summary (the §6.1 narrative)."""
+    counts = report.counts_by_category()
+    passed = len(report.by_status("pass"))
+    failed = len(report.by_status("fail"))
+    timed_out = len(report.by_status("timeout"))
+    return (
+        f"{counts['total']} PSL assertions checked in "
+        f"{report.seconds:.1f}s: {passed} passed, {failed} failed, "
+        f"{timed_out} timed out "
+        f"(P0={counts['P0']}, P1={counts['P1']}, P2={counts['P2']}, "
+        f"P3={counts['P3']}); "
+        f"{len(report.distinct_bug_modules())} defective module(s)"
+    )

@@ -1,0 +1,242 @@
+"""The three stereotype property generators — the paper's contribution.
+
+Section 3 of the paper breaks the system-level RAS requirements down to
+three *stereotype* properties that every leaf module must satisfy, so
+that each logic designer — not a formal-verification expert — can
+release them mechanically from the module's integrity specification:
+
+- **P0 — ability of error detection** (:func:`edetect_vunit`,
+  Figure 2): every illegal value at every integrity checkpoint is
+  detected and reported.  One ``Check1`` per protected entity (driven
+  through the error-injection ports) and one ``Check2`` per protected
+  primary-input group.
+- **P1 — soundness of internal states** (:func:`soundness_vunit`,
+  Figure 3): with clean inputs and injection disabled, the hardware
+  error report never fires.  One assertion per HE report signal.
+- **P2 — output data integrity** (:func:`integrity_vunit`, Figure 4):
+  with clean inputs and injection disabled, every protected output
+  group always carries odd parity.  One assertion per output group.
+- **P3 — other properties** (:func:`extra_vunit`): module-specific
+  designer-written properties, verified under the same environment.
+
+Each generated vunit renders to paper-style PSL text via ``emit()`` and
+is compiled for the engines by :mod:`repro.psl.compile`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..psl.ast import (
+    Always, AndB, BoolExpr, Implication, Name, Never, Next, NotB, OrB,
+    Property, PslError, RedXor, VUnit,
+)
+from ..psl.parser import parse_property
+from ..rtl.integrity import IntegritySpec, ParityGroup
+from ..rtl.module import Module
+
+P0 = "P0"
+P1 = "P1"
+P2 = "P2"
+P3 = "P3"
+
+CATEGORY_TITLES = {
+    P0: "Ability of Error Detection",
+    P1: "Soundness of Internal States",
+    P2: "Output Data Integrity",
+    P3: "Other Properties",
+}
+
+
+def _spec_of(module: Module, spec: Optional[IntegritySpec]) -> IntegritySpec:
+    spec = spec if spec is not None else module.integrity
+    if spec is None:
+        raise PslError(f"module {module.name!r} has no integrity spec")
+    return spec
+
+
+def _group_check(group: ParityGroup, module: Module) -> BoolExpr:
+    """``^SIG`` (or ``^SIG[hi:lo]``) — the parity-ok predicate."""
+    if group.width is None and group.lsb == 0:
+        return RedXor(Name(group.signal))
+    width = group.width
+    if width is None:
+        width = module.signal(group.signal).width - group.lsb
+    return RedXor(Name(group.signal, group.lsb + width - 1, group.lsb))
+
+
+def _he_fires(spec: IntegritySpec) -> BoolExpr:
+    """Any hardware-error report asserted."""
+    if not spec.he_signals:
+        raise PslError("integrity spec has no HE report signals")
+    fired: BoolExpr = Name(spec.he_signals[0])
+    for signal in spec.he_signals[1:]:
+        fired = OrB(fired, Name(signal))
+    return fired
+
+
+# ----------------------------------------------------------------------
+# P0 — ability of error detection (Figure 2)
+# ----------------------------------------------------------------------
+
+def edetect_vunit(module: Module,
+                  spec: Optional[IntegritySpec] = None) -> VUnit:
+    """Generate the error-detection vunit (``M_edetect``).
+
+    Check1, per entity ``i``: driving ``EC[i]`` with an even-parity
+    value on the entity's ED slice must raise HE in the next cycle.
+    Check2, per protected input group: an even-parity input word must
+    raise HE in the next cycle.
+    """
+    spec = _spec_of(module, spec)
+    unit = VUnit(f"{module.name}_edetect", module.name,
+                 comment="check error detection ability")
+    unit.category = P0
+    he = _he_fires(spec)
+
+    if spec.entities and (spec.ec_port is None or spec.ed_port is None):
+        raise PslError(
+            f"module {module.name!r}: entities without EC/ED ports — "
+            f"release Verifiable RTL first (make_verifiable)"
+        )
+    ec_width = module.inputs[spec.ec_port].width if spec.entities else 0
+    for ent in spec.entities:
+        reg = next(r for r in module.regs if r.name == ent.reg_name)
+        ec_bit = (Name(spec.ec_port, ent.ec_index) if ec_width > 1
+                  else Name(spec.ec_port))
+        ed_slice = Name(spec.ed_port, reg.width - 1, 0)
+        antecedent = AndB(ec_bit, NotB(RedXor(ed_slice)))
+        prop = Always(Implication(antecedent, Next(he)))
+        name = f"pCheck1_{ent.name}"
+        unit.declare(name, prop,
+                     comment=f"inject even parity into {ent.kind} "
+                             f"{ent.name}")
+        unit.assert_(name)
+
+    for group in spec.protected_inputs:
+        name = f"pCheck2_{group.signal}_{group.lsb}"
+        override = spec.p0_overrides.get(group.signal)
+        if override is not None:
+            prop = parse_property(override)
+        else:
+            antecedent = NotB(_group_check(group, module))
+            prop = Always(Implication(antecedent, Next(he)))
+        unit.declare(name, prop,
+                     comment=f"{group.describe()} should be odd parity")
+        unit.assert_(name)
+    return unit
+
+
+# ----------------------------------------------------------------------
+# shared environment for P1/P2/P3 (Figures 3 and 4)
+# ----------------------------------------------------------------------
+
+def _assume_environment(unit: VUnit, module: Module,
+                        spec: IntegritySpec) -> None:
+    """Assume clean inputs and disabled injection."""
+    for group in spec.protected_inputs:
+        if group.signal in spec.free_inputs:
+            continue
+        name = f"pIntegrityI_{group.signal}_{group.lsb}"
+        unit.declare(name, Always(_group_check(group, module)),
+                     comment=f"{group.describe()} should be odd parity")
+        unit.assume(name)
+    if spec.ec_port is not None:
+        unit.declare("pNoErrInjection",
+                     Always(NotB(Name(spec.ec_port))),
+                     comment="Error injection is disabled")
+        unit.assume("pNoErrInjection")
+    for name, source in spec.env_assumptions:
+        unit.declare(name, parse_property(source),
+                     comment="designer-released environment assumption")
+        unit.assume(name)
+
+
+# ----------------------------------------------------------------------
+# P1 — soundness of internal states (Figure 3)
+# ----------------------------------------------------------------------
+
+def soundness_vunit(module: Module,
+                    spec: Optional[IntegritySpec] = None) -> VUnit:
+    """Generate the soundness vunit (``M_soundness``): HE never fires
+    in normal operation — one assertion per report signal."""
+    spec = _spec_of(module, spec)
+    unit = VUnit(f"{module.name}_soundness", module.name,
+                 comment="soundness check")
+    unit.category = P1
+    _assume_environment(unit, module, spec)
+    for he in spec.he_signals:
+        name = f"pNoError_{he}"
+        unit.declare(name, Never(Name(he)),
+                     comment="then no error is reported")
+        unit.assert_(name)
+    return unit
+
+
+# ----------------------------------------------------------------------
+# P2 — output data integrity (Figure 4)
+# ----------------------------------------------------------------------
+
+def integrity_vunit(module: Module,
+                    spec: Optional[IntegritySpec] = None) -> VUnit:
+    """Generate the output-integrity vunit (``M_integrity``): every
+    protected output group carries odd parity in normal operation."""
+    spec = _spec_of(module, spec)
+    unit = VUnit(f"{module.name}_integrity", module.name,
+                 comment="integrity check")
+    unit.category = P2
+    _assume_environment(unit, module, spec)
+    for group in spec.protected_outputs:
+        name = f"pIntegrityO_{group.signal}_{group.lsb}"
+        unit.declare(name, Always(_group_check(group, module)),
+                     comment=f"then integrity of {group.describe()} holds")
+        unit.assert_(name)
+    return unit
+
+
+# ----------------------------------------------------------------------
+# P3 — other properties
+# ----------------------------------------------------------------------
+
+def extra_vunit(module: Module,
+                spec: Optional[IntegritySpec] = None) -> Optional[VUnit]:
+    """Generate the module-specific (P3) vunit, or None when the
+    designer released no extra properties."""
+    spec = _spec_of(module, spec)
+    if not spec.extra_properties:
+        return None
+    unit = VUnit(f"{module.name}_other", module.name,
+                 comment="module-specific properties")
+    unit.category = P3
+    _assume_environment(unit, module, spec)
+    for name, source in spec.extra_properties:
+        unit.declare(name, parse_property(source))
+        unit.assert_(name)
+    return unit
+
+
+# ----------------------------------------------------------------------
+
+def stereotype_vunits(module: Module,
+                      spec: Optional[IntegritySpec] = None) -> List[VUnit]:
+    """All vunits of one leaf module, in P0..P3 order.
+
+    Vunits with no assertions (e.g. a module without entities has no
+    Check1 and possibly no Check2) are omitted.
+    """
+    spec = _spec_of(module, spec)
+    units: List[VUnit] = []
+    for unit in (edetect_vunit(module, spec), soundness_vunit(module, spec),
+                 integrity_vunit(module, spec), extra_vunit(module, spec)):
+        if unit is not None and unit.asserted():
+            units.append(unit)
+    return units
+
+
+def count_by_category(units: List[VUnit]) -> dict:
+    """Assertion counts per category — one row of Table 2."""
+    counts = {P0: 0, P1: 0, P2: 0, P3: 0}
+    for unit in units:
+        counts[unit.category] += len(unit.asserted())
+    counts["total"] = sum(counts.values())
+    return counts

@@ -1,0 +1,38 @@
+"""Formal engines: CDCL SAT, BMC, k-induction, ROBDD reachability
+(forward/backward/combined), POBDD partitioning, and the unified
+model-checker front-end with deterministic resource budgets."""
+
+from .budget import BudgetExceeded, ResourceBudget, unlimited
+from .sat import Solver
+from .cnf import CnfContext
+from .transition import TransitionSystem
+from .trace import Trace
+from .bmc import BmcResult, Unroller, bmc
+from .induction import InductionResult, k_induction
+from .bdd import Bdd
+from .reachability import (
+    ReachResult, SymbolicModel, backward_reach, combined_reach,
+    forward_reach,
+)
+from .pobdd import PobddStats, choose_window_vars, pobdd_reach
+from .engine import (
+    FAIL, PASS, TIMEOUT, UNKNOWN, CheckResult, ModelChecker,
+)
+from .equivalence import (
+    MISCOMPARE_OUTPUT, build_miter, check_equivalence,
+    injection_transparent,
+)
+
+__all__ = [
+    "BudgetExceeded", "ResourceBudget", "unlimited",
+    "Solver", "CnfContext", "TransitionSystem", "Trace",
+    "BmcResult", "Unroller", "bmc",
+    "InductionResult", "k_induction",
+    "Bdd",
+    "ReachResult", "SymbolicModel", "backward_reach", "combined_reach",
+    "forward_reach",
+    "PobddStats", "choose_window_vars", "pobdd_reach",
+    "FAIL", "PASS", "TIMEOUT", "UNKNOWN", "CheckResult", "ModelChecker",
+    "MISCOMPARE_OUTPUT", "build_miter", "check_equivalence",
+    "injection_transparent",
+]

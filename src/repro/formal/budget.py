@@ -1,0 +1,61 @@
+"""Deterministic resource budgets.
+
+The paper's flow reacts to model-checking *time-outs* (section 4.2): a
+property whose cone is too large for the engine is divided at internal
+checkpoints.  Wall-clock timeouts make experiments machine-dependent, so
+this reproduction uses deterministic resource budgets instead: SAT
+engines are limited in conflicts, BDD engines in created nodes.  A check
+that exhausts its budget reports TIMEOUT exactly like the paper's tools,
+but reproducibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class BudgetExceeded(Exception):
+    """Raised internally when an engine exhausts its resource budget."""
+
+    def __init__(self, resource: str, limit: int) -> None:
+        super().__init__(f"{resource} budget of {limit} exhausted")
+        self.resource = resource
+        self.limit = limit
+
+
+@dataclass
+class ResourceBudget:
+    """Resource quotas for one model-checking run.
+
+    ``None`` means unlimited.  The counters accumulate across engines so
+    a hybrid run (BDD proof attempt, then SAT trace extraction) shares
+    one budget, mirroring a single tool invocation.
+    """
+
+    sat_conflicts: Optional[int] = None
+    bdd_nodes: Optional[int] = None
+    spent_conflicts: int = 0
+    spent_nodes: int = 0
+
+    def charge_conflicts(self, count: int = 1) -> None:
+        self.spent_conflicts += count
+        if (self.sat_conflicts is not None
+                and self.spent_conflicts > self.sat_conflicts):
+            raise BudgetExceeded("SAT conflict", self.sat_conflicts)
+
+    def charge_nodes(self, count: int = 1) -> None:
+        self.spent_nodes += count
+        if self.bdd_nodes is not None and self.spent_nodes > self.bdd_nodes:
+            raise BudgetExceeded("BDD node", self.bdd_nodes)
+
+    def snapshot(self) -> dict:
+        return {
+            "sat_conflicts": self.spent_conflicts,
+            "bdd_nodes": self.spent_nodes,
+        }
+
+
+def unlimited() -> ResourceBudget:
+    """A budget that never trips."""
+    return ResourceBudget()

@@ -1,0 +1,211 @@
+"""Unified model-checking front-end.
+
+One :class:`ModelChecker` wraps every engine in the package behind the
+black-box contract the paper's verification engineer relies on: safety
+property in, PASS / FAIL(+counterexample) / TIMEOUT out.
+
+Engines:
+
+- ``bmc`` — bounded search only (returns UNKNOWN when no counterexample
+  exists within the bound);
+- ``kind`` — k-induction (unbounded, SAT-based);
+- ``bdd-forward`` / ``bdd-backward`` / ``bdd-combined`` — unbounded
+  model checking by reachability (the in-house engine's algorithms);
+- ``pobdd`` — partitioned-ROBDD forward reachability;
+- ``auto`` — k-induction first (fast on the inductive parity
+  invariants the methodology produces), falling back to BDD combined
+  traversal for properties induction cannot settle.
+
+Counterexamples found by BDD engines are concretised by a BMC run at
+the discovered depth, then validated by replay on the transition
+system before being reported.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .bmc import bmc
+from .budget import BudgetExceeded, ResourceBudget
+from .induction import k_induction
+from .pobdd import pobdd_reach
+from .reachability import (
+    SymbolicModel, backward_reach, combined_reach, forward_reach,
+)
+from .trace import Trace
+from .transition import TransitionSystem
+
+PASS = "pass"
+FAIL = "fail"
+TIMEOUT = "timeout"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one property check."""
+
+    name: str
+    status: str
+    engine: str
+    depth: Optional[int] = None        # cex length or proof bound
+    trace: Optional[Trace] = None
+    stats: Dict[str, object] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.status == PASS
+
+    @property
+    def failed(self) -> bool:
+        return self.status == FAIL
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status == TIMEOUT
+
+    def __repr__(self) -> str:
+        return (f"CheckResult({self.name!r}, {self.status.upper()}, "
+                f"engine={self.engine})")
+
+
+class ModelChecker:
+    """Checks one safety problem (a :class:`TransitionSystem`)."""
+
+    METHODS = ("auto", "bmc", "kind", "bdd-forward", "bdd-backward",
+               "bdd-combined", "pobdd")
+
+    def __init__(self, ts: TransitionSystem,
+                 budget: Optional[ResourceBudget] = None) -> None:
+        self.ts = ts
+        self.budget = budget
+
+    # ------------------------------------------------------------------
+    def check(self, method: str = "auto", max_bound: int = 60,
+              max_k: int = 40, unique_states: bool = True,
+              num_window_vars: int = 2) -> CheckResult:
+        if method not in self.METHODS:
+            raise ValueError(f"unknown method {method!r}; "
+                             f"pick one of {self.METHODS}")
+        started = time.perf_counter()
+        try:
+            result = self._dispatch(method, max_bound, max_k,
+                                    unique_states, num_window_vars)
+        except BudgetExceeded as exhausted:
+            result = CheckResult(
+                name=self.ts.name,
+                status=TIMEOUT,
+                engine=method,
+                stats={
+                    "resource": exhausted.resource,
+                    "limit": exhausted.limit,
+                    **(self.budget.snapshot() if self.budget else {}),
+                },
+            )
+        result.seconds = time.perf_counter() - started
+        result.stats.setdefault("problem", self.ts.size_stats())
+        return result
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str, max_bound: int, max_k: int,
+                  unique_states: bool, num_window_vars: int) -> CheckResult:
+        if method == "bmc":
+            return self._run_bmc(max_bound)
+        if method == "kind":
+            return self._run_induction(max_k, unique_states)
+        if method in ("bdd-forward", "bdd-backward", "bdd-combined"):
+            return self._run_bdd(method)
+        if method == "pobdd":
+            return self._run_pobdd(num_window_vars)
+        # auto: induction first, BDD combined as the decision procedure
+        inductive = self._run_induction(max_k, unique_states)
+        if inductive.status in (PASS, FAIL):
+            inductive.engine = "auto:kind"
+            return inductive
+        bdd_result = self._run_bdd("bdd-combined")
+        bdd_result.engine = "auto:" + bdd_result.engine
+        return bdd_result
+
+    def _run_bmc(self, max_bound: int) -> CheckResult:
+        result = bmc(self.ts, max_bound, budget=self.budget)
+        if result.failed:
+            self._validate(result.trace)
+            return CheckResult(self.ts.name, FAIL, "bmc",
+                               depth=result.bound, trace=result.trace,
+                               stats={"sat": result.stats})
+        return CheckResult(self.ts.name, UNKNOWN, "bmc",
+                           depth=max_bound, stats={"sat": result.stats})
+
+    def _run_induction(self, max_k: int, unique_states: bool) -> CheckResult:
+        result = k_induction(self.ts, max_k=max_k, budget=self.budget,
+                             unique_states=unique_states)
+        if result.status == "proved":
+            return CheckResult(self.ts.name, PASS, "kind",
+                               depth=result.k, stats={"sat": result.stats})
+        if result.status == "failed":
+            self._validate(result.trace)
+            return CheckResult(self.ts.name, FAIL, "kind",
+                               depth=result.k, trace=result.trace,
+                               stats={"sat": result.stats})
+        return CheckResult(self.ts.name, UNKNOWN, "kind", depth=max_k,
+                           stats={"sat": result.stats})
+
+    def _run_bdd(self, method: str) -> CheckResult:
+        model = SymbolicModel(self.ts, budget=self.budget)
+        traversal = {
+            "bdd-forward": forward_reach,
+            "bdd-backward": backward_reach,
+            "bdd-combined": combined_reach,
+        }[method]
+        reach = traversal(model)
+        stats = {
+            "iterations": reach.iterations,
+            "peak_nodes": reach.peak_live_nodes,
+        }
+        if reach.proved:
+            return CheckResult(self.ts.name, PASS, method,
+                               depth=reach.iterations, stats=stats)
+        if reach.cex_depth is None:
+            return CheckResult(self.ts.name, UNKNOWN, method, stats=stats)
+        trace = self._concretise(reach.cex_depth)
+        return CheckResult(self.ts.name, FAIL, method,
+                           depth=trace.length - 1, trace=trace, stats=stats)
+
+    def _run_pobdd(self, num_window_vars: int) -> CheckResult:
+        model = SymbolicModel(self.ts, budget=self.budget)
+        reach, pstats = pobdd_reach(model, num_window_vars=num_window_vars)
+        stats = {
+            "iterations": reach.iterations,
+            "peak_nodes": reach.peak_live_nodes,
+            "windows": pstats.windows,
+            "peak_window_size": pstats.peak_window_size,
+        }
+        if reach.proved:
+            return CheckResult(self.ts.name, PASS, "pobdd",
+                               depth=reach.iterations, stats=stats)
+        if reach.cex_depth is None:
+            return CheckResult(self.ts.name, UNKNOWN, "pobdd", stats=stats)
+        trace = self._concretise(reach.cex_depth)
+        return CheckResult(self.ts.name, FAIL, "pobdd",
+                           depth=trace.length - 1, trace=trace, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _concretise(self, depth_bound: int) -> Trace:
+        """Turn a symbolic 'bad reachable within N steps' verdict into a
+        concrete input trace via BMC."""
+        result = bmc(self.ts, depth_bound, budget=self.budget)
+        if not result.failed:
+            raise RuntimeError(
+                "BDD engine reported a reachable violation but BMC could "
+                f"not concretise it within {depth_bound} steps"
+            )
+        self._validate(result.trace)
+        return result.trace
+
+    @staticmethod
+    def _validate(trace: Optional[Trace]) -> None:
+        if trace is not None and not trace.replay():
+            raise RuntimeError("counterexample failed replay validation")

@@ -1,0 +1,120 @@
+"""k-induction: SAT-based unbounded safety proof.
+
+Standard temporal induction (Sheeran et al.): the property holds if
+
+- **base**: no counterexample of length <= k from the initial state, and
+- **step**: no path of k+1 constraint-satisfying transitions where the
+  property holds for the first k frames and fails at frame k+1, starting
+  from *any* state.
+
+``unique_states=True`` adds simple-path (pairwise state-distinctness)
+constraints, making the method complete: k eventually reaches the
+design's recurrence diameter.  The paper's leaf-module scoping is what
+keeps that diameter small enough to be practical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .budget import ResourceBudget
+from .bmc import Unroller
+from .sat import Solver
+from .trace import Trace
+from .transition import TransitionSystem
+
+
+class InductionResult:
+    """Outcome of a k-induction run."""
+
+    def __init__(self, status: str, k: int, trace: Optional[Trace],
+                 stats: Dict[str, int]) -> None:
+        self.status = status      # 'proved' | 'failed' | 'unknown'
+        self.k = k
+        self.trace = trace
+        self.stats = stats
+
+    def __repr__(self) -> str:
+        return f"InductionResult({self.status} @ k={self.k})"
+
+
+def k_induction(ts: TransitionSystem, max_k: int = 30,
+                budget: Optional[ResourceBudget] = None,
+                unique_states: bool = True) -> InductionResult:
+    """Run temporal induction with increasing k.
+
+    Returns ``proved`` (property holds for all reachable states),
+    ``failed`` (with a validated counterexample trace), or ``unknown``
+    when ``max_k`` is exhausted.  Raises
+    :class:`~repro.formal.budget.BudgetExceeded` on budget exhaustion.
+    """
+    base_solver = Solver(budget)
+    base = Unroller(ts, base_solver, constrain_init=True)
+    step_solver = Solver(budget)
+    step = Unroller(ts, step_solver, constrain_init=False)
+    uniq = _UniqueStates(ts, step, step_solver) if unique_states else None
+
+    for k in range(0, max_k + 1):
+        # ---- base case: counterexample of exactly length k?
+        base.assert_constraint(k)
+        bad_lit = base.bad_at(k)
+        if base_solver.solve([bad_lit]):
+            trace = Trace(ts, base.extract_inputs(k))
+            return InductionResult("failed", k, trace,
+                                   _merge(base_solver, step_solver))
+        base_solver.add_clause([bad_lit ^ 1])
+
+        # ---- inductive step: good for frames 0..k, bad at frame k+1?
+        step.assert_constraint(k)
+        step.assert_constraint(k + 1)
+        step_solver.add_clause([step.bad_at(k) ^ 1])
+        if uniq is not None:
+            uniq.extend(k + 1)
+        step_bad = step.bad_at(k + 1)
+        if not step_solver.solve([step_bad]):
+            return InductionResult("proved", k, None,
+                                   _merge(base_solver, step_solver))
+
+    return InductionResult("unknown", max_k, None,
+                           _merge(base_solver, step_solver))
+
+
+def _merge(base: Solver, step: Solver) -> Dict[str, int]:
+    return {
+        key: base.stats[key] + step.stats[key] for key in base.stats
+    }
+
+
+class _UniqueStates:
+    """Pairwise state-distinctness clauses for the step unrolling."""
+
+    def __init__(self, ts: TransitionSystem, unroller: Unroller,
+                 solver: Solver) -> None:
+        self.ts = ts
+        self.unroller = unroller
+        self.solver = solver
+        self._frames_done = 0
+
+    def extend(self, up_to_frame: int) -> None:
+        """Ensure distinctness constraints cover frames 0..up_to_frame."""
+        for new in range(self._frames_done, up_to_frame + 1):
+            for old in range(new):
+                self._add_distinct(old, new)
+        self._frames_done = max(self._frames_done, up_to_frame + 1)
+
+    def _add_distinct(self, a: int, b: int) -> None:
+        ctx_a = self.unroller.frame(a)
+        ctx_b = self.unroller.frame(b)
+        diff_lits: List[int] = []
+        for latch in self.ts.latches:
+            lit_a = ctx_a.lit(latch)
+            lit_b = ctx_b.lit(latch)
+            x = self.solver.new_var() << 1
+            # x <-> (a xor b)
+            self.solver.add_clause([x ^ 1, lit_a, lit_b])
+            self.solver.add_clause([x ^ 1, lit_a ^ 1, lit_b ^ 1])
+            self.solver.add_clause([x, lit_a ^ 1, lit_b])
+            self.solver.add_clause([x, lit_a, lit_b ^ 1])
+            diff_lits.append(x)
+        if diff_lits:
+            self.solver.add_clause(diff_lits)

@@ -1,0 +1,105 @@
+"""POBDD: partitioned-ROBDD reachability.
+
+Reproduces the partitioning idea behind the paper's in-house engine
+(Jain's "Breaking Barriers of BDD-based Verification by Partitioning",
+IWLS 2004): the state space is split into windows by fixing a small set
+of *window variables*, each window keeps its own reached-state BDD, and
+images computed inside one window are redistributed to the windows they
+land in.  Each per-window BDD is much smaller than the monolithic
+reached set, trading more (cheap) iterations for lower peak node counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .bdd import FALSE
+from .reachability import ReachResult, SymbolicModel
+
+
+@dataclass
+class PobddStats:
+    """Diagnostics of one partitioned traversal."""
+
+    windows: int
+    rounds: int
+    peak_window_size: int      # largest per-window reached-BDD (nodes)
+    peak_manager_nodes: int    # manager growth (budget-relevant)
+
+
+def choose_window_vars(model: SymbolicModel, count: int) -> List[int]:
+    """Pick window variables: the current-state variables appearing in
+    the most transition partitions (highest connectivity), which splits
+    the reached set where it is most entangled."""
+    frequency: Dict[int, int] = {}
+    for _, relation in model.partitions:
+        for var in model.bdd.support(relation):
+            if var in model._curr_set:
+                frequency[var] = frequency.get(var, 0) + 1
+    ranked = sorted(model._curr_set,
+                    key=lambda v: (-frequency.get(v, 0), v))
+    return ranked[:count]
+
+
+def pobdd_reach(model: SymbolicModel, num_window_vars: int = 2,
+                max_rounds: Optional[int] = None) -> "Tuple[ReachResult, PobddStats]":
+    """Partitioned forward reachability.
+
+    Returns the usual :class:`ReachResult` plus partitioning statistics.
+    """
+    bdd = model.bdd
+    window_vars = choose_window_vars(model, num_window_vars)
+    cubes = [
+        bdd.cube(dict(zip(window_vars, bits)))
+        for bits in itertools.product((0, 1), repeat=len(window_vars))
+    ]
+    bad = model.bad_states()
+
+    reached: List[int] = [bdd.and_(model.init, cube) for cube in cubes]
+    frontier: List[int] = list(reached)
+    rounds = 0
+    peak_window = max((bdd.size(r) for r in reached), default=0)
+    peak_manager = bdd.num_nodes()
+
+    # depth bookkeeping: the round in which each window first received
+    # its current frontier gives a bound on counterexample depth
+    while True:
+        for window, front in enumerate(frontier):
+            if front != FALSE and bdd.and_(front, bad) != FALSE:
+                stats = PobddStats(len(cubes), rounds, peak_window,
+                                   peak_manager)
+                return (
+                    ReachResult(False, rounds, rounds, peak_manager, "pobdd"),
+                    stats,
+                )
+        if all(front == FALSE for front in frontier):
+            stats = PobddStats(len(cubes), rounds, peak_window, peak_manager)
+            return (
+                ReachResult(True, None, rounds, peak_manager, "pobdd"),
+                stats,
+            )
+        if max_rounds is not None and rounds >= max_rounds:
+            stats = PobddStats(len(cubes), rounds, peak_window, peak_manager)
+            return (
+                ReachResult(False, None, rounds, peak_manager, "pobdd"),
+                stats,
+            )
+        rounds += 1
+        # one synchronous round: image every window's frontier, then
+        # redistribute the union into the windows
+        images = [
+            model.image(front) if front != FALSE else FALSE
+            for front in frontier
+        ]
+        union = bdd.or_many(images)
+        new_frontier: List[int] = []
+        for window, cube in enumerate(cubes):
+            landed = bdd.and_(union, cube)
+            fresh = bdd.and_(landed, bdd.not_(reached[window]))
+            reached[window] = bdd.or_(reached[window], fresh)
+            new_frontier.append(fresh)
+            peak_window = max(peak_window, bdd.size(reached[window]))
+        frontier = new_frontier
+        peak_manager = max(peak_manager, bdd.num_nodes())

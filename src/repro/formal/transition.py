@@ -1,0 +1,144 @@
+"""Symbolic transition systems extracted from bit-blasted designs.
+
+A :class:`TransitionSystem` is the common input of every formal engine:
+
+- ``latches`` with initial values and next-state functions (AIG literals),
+- ``inputs`` (free variables each cycle),
+- ``constraint`` — the conjunction of all *assumed* properties, evaluated
+  over (state, input) every cycle; counterexamples must satisfy it at
+  every step, including the violating one,
+- ``bad`` — the *asserted* property's violation flag over (state, input).
+
+Cone-of-influence reduction trims latches and inputs that cannot affect
+``bad`` or ``constraint``; the paper's leaf modules are small, but COI is
+what makes the divide-and-conquer partitioning measurable (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..rtl.netlist import Aig, BitBlaster, FALSE, TRUE
+
+
+@dataclass
+class TransitionSystem:
+    """A bit-level safety-checking problem."""
+
+    aig: Aig
+    inputs: List[int]                 # input literals (positive)
+    latches: List[int]                # latch literals (positive)
+    init: Dict[int, int]              # latch lit -> initial bit
+    next_fn: Dict[int, int]           # latch lit -> next-state literal
+    bad: int                          # violation literal
+    constraint: int = TRUE            # assumption literal
+    name: str = ""
+    blaster: Optional[BitBlaster] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_blaster(cls, blaster: BitBlaster, bad_output: str,
+                     constraint_output: Optional[str] = None,
+                     name: str = "") -> "TransitionSystem":
+        """Build from a bit-blasted design with 1-bit ``bad`` (and
+        optionally ``constraint``) outputs."""
+        aig = blaster.aig
+        bad_bits = blaster.output_bits[bad_output]
+        if len(bad_bits) != 1:
+            raise ValueError(f"bad output {bad_output!r} must be 1 bit")
+        constraint = TRUE
+        if constraint_output is not None:
+            cons_bits = blaster.output_bits[constraint_output]
+            if len(cons_bits) != 1:
+                raise ValueError(
+                    f"constraint output {constraint_output!r} must be 1 bit"
+                )
+            constraint = cons_bits[0]
+        ts = cls(
+            aig=aig,
+            inputs=list(aig.inputs),
+            latches=list(aig.latches),
+            init=dict(aig.latch_init),
+            next_fn=dict(aig.latch_next),
+            bad=bad_bits[0],
+            constraint=constraint,
+            name=name or blaster.design.name,
+            blaster=blaster,
+        )
+        return ts.coi_reduce()
+
+    # ------------------------------------------------------------------
+    def coi_reduce(self) -> "TransitionSystem":
+        """Restrict to the cone of influence of ``bad`` and
+        ``constraint`` (fixpoint through next-state functions)."""
+        aig = self.aig
+        relevant: set = set()
+        frontier = [self.bad, self.constraint]
+        while frontier:
+            _, latch_lits = aig.support(frontier)
+            new = [lit for lit in latch_lits if lit not in relevant]
+            if not new:
+                break
+            relevant.update(new)
+            frontier = [self.next_fn[lit] for lit in new]
+
+        latches = [lit for lit in self.latches if lit in relevant]
+        roots = [self.bad, self.constraint]
+        roots.extend(self.next_fn[lit] for lit in latches)
+        input_lits, _ = aig.support(roots)
+        input_set = set(input_lits)
+        inputs = [lit for lit in self.inputs if lit in input_set]
+        return TransitionSystem(
+            aig=aig,
+            inputs=inputs,
+            latches=latches,
+            init={lit: self.init[lit] for lit in latches},
+            next_fn={lit: self.next_fn[lit] for lit in latches},
+            bad=self.bad,
+            constraint=self.constraint,
+            name=self.name,
+            blaster=self.blaster,
+        )
+
+    # ------------------------------------------------------------------
+    def size_stats(self) -> Dict[str, int]:
+        """Problem-size metrics (reported alongside check results)."""
+        roots = [self.bad, self.constraint]
+        roots.extend(self.next_fn[lit] for lit in self.latches)
+        cone = self.aig.cone_nodes(roots)
+        ands = sum(1 for index in cone if self.aig.kind(index << 1) == "and")
+        return {
+            "latches": len(self.latches),
+            "inputs": len(self.inputs),
+            "ands": ands,
+        }
+
+    def latch_name(self, lit: int) -> str:
+        return self.aig.name_of(lit) or f"latch{lit}"
+
+    def input_name(self, lit: int) -> str:
+        return self.aig.name_of(lit) or f"input{lit}"
+
+    # ------------------------------------------------------------------
+    def evaluate_step(self, state: Dict[int, int],
+                      inputs: Dict[int, int]) -> Tuple[Dict[int, int], int, int]:
+        """Concrete one-step evaluation: returns (next state, bad bit,
+        constraint bit).  Used to replay and validate counterexample
+        traces."""
+        values = dict(state)
+        values.update(inputs)
+        # default any un-driven input to 0
+        for lit in self.inputs:
+            values.setdefault(lit, 0)
+        roots = [self.bad, self.constraint]
+        roots.extend(self.next_fn[lit] for lit in self.latches)
+        results = self.aig.evaluate(roots, values)
+        bad_bit, cons_bit = results[0], results[1]
+        next_state = {
+            lit: results[2 + index] for index, lit in enumerate(self.latches)
+        }
+        return next_state, bad_bit, cons_bit
+
+    def initial_state(self) -> Dict[int, int]:
+        return dict(self.init)

@@ -1,0 +1,22 @@
+"""PSL subset front-end: AST, textual parser, vunits, and compilation of
+properties into safety monitors for the formal engines."""
+
+from .ast import (
+    ASSERT, ASSUME, Always, AndB, BoolExpr, Implication, Literal, Name,
+    Never, Next, NotB, OrB, Property, PropertyDecl, PslError, RedXor, VUnit,
+    XorB,
+)
+from .parser import parse_bool, parse_property, parse_vunit, parse_vunits
+from .compile import (
+    BAD_OUTPUT, CONSTRAINT_OUTPUT, PropertyCompiler, compile_assertion,
+    compile_vunit,
+)
+
+__all__ = [
+    "ASSERT", "ASSUME", "Always", "AndB", "BoolExpr", "Implication",
+    "Literal", "Name", "Never", "Next", "NotB", "OrB", "Property",
+    "PropertyDecl", "PslError", "RedXor", "VUnit", "XorB",
+    "parse_bool", "parse_property", "parse_vunit", "parse_vunits",
+    "BAD_OUTPUT", "CONSTRAINT_OUTPUT", "PropertyCompiler",
+    "compile_assertion", "compile_vunit",
+]

@@ -1,0 +1,298 @@
+"""AST for the PSL subset used in the paper.
+
+The paper's properties (Figures 2-4) use a small, regular fragment of
+PSL's simple subset:
+
+- boolean layer: signal names, bit/part selects, ``~`` ``&`` ``|``
+  ``^`` (binary xor), prefix ``^sig`` (xor reduction — the odd-parity
+  integrity check), and parenthesisation;
+- temporal layer: ``always``, ``never``, boolean implication ``->`` and
+  the one-cycle ``next``;
+- verification units binding named properties to a module with
+  ``assume`` and ``assert`` directives.
+
+Every node renders back to PSL text via ``emit()``; the textual parser
+(:mod:`repro.psl.parser`) and the emitters round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class PslError(ValueError):
+    """Raised for malformed PSL constructs."""
+
+
+# ----------------------------------------------------------------------
+# boolean layer
+# ----------------------------------------------------------------------
+
+class BoolExpr:
+    """Base class of boolean-layer expressions."""
+
+    def emit(self) -> str:
+        raise NotImplementedError
+
+    # Python operator sugar for the builder API
+    def __invert__(self) -> "BoolExpr":
+        return NotB(self)
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return AndB(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return OrB(self, other)
+
+    def __xor__(self, other: "BoolExpr") -> "BoolExpr":
+        return XorB(self, other)
+
+    def implies(self, other: "PropertyOrBool") -> "Implication":
+        return Implication(self, other)
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.emit()))
+
+
+@dataclass(frozen=True, eq=False)
+class Name(BoolExpr):
+    """A signal reference, optionally bit- or part-selected.
+
+    ``Name("EC", 0)`` is ``EC[0]``; ``Name("ED", 3, 0)`` is ``ED[3:0]``.
+    """
+
+    ident: str
+    msb: Optional[int] = None
+    lsb: Optional[int] = None
+
+    def emit(self) -> str:
+        if self.msb is None:
+            return self.ident
+        if self.lsb is None or self.lsb == self.msb:
+            return f"{self.ident}[{self.msb}]"
+        return f"{self.ident}[{self.msb}:{self.lsb}]"
+
+
+@dataclass(frozen=True, eq=False)
+class NotB(BoolExpr):
+    operand: BoolExpr
+
+    def emit(self) -> str:
+        return f"~{_paren(self.operand)}"
+
+
+@dataclass(frozen=True, eq=False)
+class RedXor(BoolExpr):
+    """Prefix ``^sig``: xor-reduction, the odd-parity check."""
+
+    operand: BoolExpr
+
+    def emit(self) -> str:
+        return f"^{_paren(self.operand)}"
+
+
+@dataclass(frozen=True, eq=False)
+class AndB(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def emit(self) -> str:
+        return f"{_paren(self.left)} & {_paren(self.right)}"
+
+
+@dataclass(frozen=True, eq=False)
+class OrB(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def emit(self) -> str:
+        return f"{_paren(self.left)} | {_paren(self.right)}"
+
+
+@dataclass(frozen=True, eq=False)
+class XorB(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def emit(self) -> str:
+        return f"{_paren(self.left)} ^ {_paren(self.right)}"
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(BoolExpr):
+    """Boolean constant (``1`` / ``0``)."""
+
+    value: int
+
+    def emit(self) -> str:
+        return str(self.value & 1)
+
+
+def _paren(expr: BoolExpr) -> str:
+    if isinstance(expr, (Name, Literal)):
+        return expr.emit()
+    if isinstance(expr, (NotB, RedXor)):
+        return expr.emit()
+    return f"({expr.emit()})"
+
+
+# ----------------------------------------------------------------------
+# temporal layer
+# ----------------------------------------------------------------------
+
+class Property:
+    """Base class of temporal-layer property expressions."""
+
+    def emit(self) -> str:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.emit()))
+
+
+PropertyOrBool = object  # Property | BoolExpr
+
+
+@dataclass(frozen=True, eq=False)
+class Next(Property):
+    """``next b`` — b holds one cycle later."""
+
+    operand: BoolExpr
+
+    def emit(self) -> str:
+        return f"next {_paren(self.operand)}"
+
+
+@dataclass(frozen=True, eq=False)
+class Implication(Property):
+    """``a -> rhs`` where rhs is boolean or ``next`` boolean."""
+
+    antecedent: BoolExpr
+    consequent: PropertyOrBool  # BoolExpr | Next
+
+    def emit(self) -> str:
+        lhs = _paren(self.antecedent)
+        if isinstance(self.consequent, BoolExpr):
+            return f"{lhs} -> {_paren(self.consequent)}"
+        return f"{lhs} -> {self.consequent.emit()}"
+
+
+@dataclass(frozen=True, eq=False)
+class Always(Property):
+    """``always (inner)``."""
+
+    inner: PropertyOrBool  # BoolExpr | Implication
+
+    def emit(self) -> str:
+        if isinstance(self.inner, BoolExpr):
+            return f"always ( {self.inner.emit()} )"
+        return f"always ( {self.inner.emit()} )"
+
+
+@dataclass(frozen=True, eq=False)
+class Never(Property):
+    """``never (b)``."""
+
+    inner: BoolExpr
+
+    def emit(self) -> str:
+        return f"never ( {self.inner.emit()} )"
+
+
+# ----------------------------------------------------------------------
+# verification units
+# ----------------------------------------------------------------------
+
+ASSUME = "assume"
+ASSERT = "assert"
+
+
+@dataclass
+class PropertyDecl:
+    """``property name = <prop>; // comment``"""
+
+    name: str
+    prop: Property
+    comment: str = ""
+
+
+@dataclass
+class VUnit:
+    """A PSL verification unit bound to one module.
+
+    ``directives`` lists (kind, property-name) pairs in declaration
+    order, kind being ``assume`` or ``assert``.
+    """
+
+    name: str
+    module_name: str
+    declarations: List[PropertyDecl] = field(default_factory=list)
+    directives: List[Tuple[str, str]] = field(default_factory=list)
+    comment: str = ""
+    #: methodology classification: 'P0' | 'P1' | 'P2' | 'P3' (or '')
+    category: str = ""
+
+    # ------------------------------------------------------------------
+    def declare(self, name: str, prop: Property,
+                comment: str = "") -> PropertyDecl:
+        if any(d.name == name for d in self.declarations):
+            raise PslError(f"vunit {self.name!r}: duplicate property "
+                           f"{name!r}")
+        decl = PropertyDecl(name, prop, comment)
+        self.declarations.append(decl)
+        return decl
+
+    def assume(self, prop_name: str) -> None:
+        self._direct(ASSUME, prop_name)
+
+    def assert_(self, prop_name: str) -> None:
+        self._direct(ASSERT, prop_name)
+
+    def _direct(self, kind: str, prop_name: str) -> None:
+        if self.property_named(prop_name) is None:
+            raise PslError(f"vunit {self.name!r}: directive references "
+                           f"unknown property {prop_name!r}")
+        self.directives.append((kind, prop_name))
+
+    # ------------------------------------------------------------------
+    def property_named(self, name: str) -> Optional[Property]:
+        for decl in self.declarations:
+            if decl.name == name:
+                return decl.prop
+        return None
+
+    def assumed(self) -> List[Tuple[str, Property]]:
+        return [(name, self.property_named(name))
+                for kind, name in self.directives if kind == ASSUME]
+
+    def asserted(self) -> List[Tuple[str, Property]]:
+        return [(name, self.property_named(name))
+                for kind, name in self.directives if kind == ASSERT]
+
+    # ------------------------------------------------------------------
+    def emit(self) -> str:
+        """Render paper-style PSL text (compare Figures 2-4)."""
+        header = f"vunit {self.name} ({self.module_name}) {{"
+        if self.comment:
+            header += f" // {self.comment}"
+        lines = [header]
+        emitted = set()
+        for kind, prop_name in self.directives:
+            decl = next(d for d in self.declarations if d.name == prop_name)
+            if prop_name not in emitted:
+                decl_line = (f"    property {decl.name:<16} = "
+                             f"{decl.prop.emit()};")
+                if decl.comment:
+                    decl_line += f"  // {decl.comment}"
+                lines.append(decl_line)
+                emitted.add(prop_name)
+            lines.append(f"    {kind:<8} {prop_name};")
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Compilation of PSL vunits into safety-checking problems.
+
+Every supported property becomes a *monitor*: extra combinational logic
+(plus at most one pipeline register for ``next``) over the design's
+signals, producing
+
+- a 1-bit ``bad`` flag for the asserted property (1 = violated now), and
+- a 1-bit ``constraint`` flag conjoining all assumed properties (a
+  counterexample must keep it 1 on every cycle).
+
+The monitored design is bit-blasted and handed to the engines as a
+:class:`~repro.formal.transition.TransitionSystem`.  One vunit with
+several ``assert`` directives yields one problem per assert — matching
+the paper's property counting, where each assertion is verified (and
+counted) individually.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..formal.transition import TransitionSystem
+from ..rtl.elaborate import FlatDesign, elaborate
+from ..rtl.module import Module
+from ..rtl.netlist import bitblast
+from ..rtl.signals import Const, Expr, Reg
+from .ast import (
+    Always, AndB, BoolExpr, Implication, Literal, Name, Never, Next, NotB,
+    OrB, Property, PslError, RedXor, VUnit, XorB,
+)
+
+BAD_OUTPUT = "__bad__"
+CONSTRAINT_OUTPUT = "__constraint__"
+
+
+#: process-wide counter so monitor registers never collide, even when
+#: several compilers touch the same design
+_MONITOR_IDS = itertools.count()
+
+
+class PropertyCompiler:
+    """Compiles properties of one vunit against one design."""
+
+    def __init__(self, design: FlatDesign) -> None:
+        self.design = design
+        self._monitor_count = _MONITOR_IDS
+
+    # ------------------------------------------------------------------
+    # boolean layer
+    # ------------------------------------------------------------------
+    def bool_expr(self, expr: BoolExpr) -> Expr:
+        """Lower a boolean-layer expression to a 1-bit RTL expression."""
+        if isinstance(expr, Name):
+            return self._name(expr)
+        if isinstance(expr, Literal):
+            return Const(expr.value & 1, 1)
+        if isinstance(expr, NotB):
+            return ~self.bool_expr(expr.operand)
+        if isinstance(expr, RedXor):
+            return self._operand_word(expr.operand).reduce_xor()
+        if isinstance(expr, AndB):
+            return self.bool_expr(expr.left) & self.bool_expr(expr.right)
+        if isinstance(expr, OrB):
+            return self.bool_expr(expr.left) | self.bool_expr(expr.right)
+        if isinstance(expr, XorB):
+            return self.bool_expr(expr.left) ^ self.bool_expr(expr.right)
+        raise PslError(f"unsupported boolean expression {expr!r}")
+
+    def _name(self, name: Name) -> Expr:
+        word = self._resolve(name)
+        if word.width == 1:
+            return word
+        # multi-bit signal in boolean context: PSL treats any nonzero
+        # value as true
+        return word.reduce_or()
+
+    def _operand_word(self, expr: BoolExpr) -> Expr:
+        """Resolve the operand of a reduction without booleanising it."""
+        if isinstance(expr, Name):
+            return self._resolve(expr)
+        return self.bool_expr(expr)
+
+    def _resolve(self, name: Name) -> Expr:
+        try:
+            word = self.design.signal(name.ident)
+        except KeyError:
+            raise PslError(
+                f"property references unknown signal {name.ident!r} in "
+                f"design {self.design.name!r}"
+            ) from None
+        if name.msb is None:
+            return word
+        lsb = name.lsb if name.lsb is not None else name.msb
+        if not 0 <= lsb <= name.msb < word.width:
+            raise PslError(
+                f"select {name.emit()} out of range for {word.width}-bit "
+                f"signal"
+            )
+        return word[lsb:name.msb + 1]
+
+    # ------------------------------------------------------------------
+    # temporal layer
+    # ------------------------------------------------------------------
+    def violation(self, prop: Property) -> Expr:
+        """1-bit flag that is 1 exactly when the property is violated in
+        the current cycle (given the monitor state)."""
+        return ~self.holds(prop)
+
+    def holds(self, prop: Property) -> Expr:
+        """1-bit flag: the property's per-cycle obligation holds now."""
+        if isinstance(prop, Always):
+            inner = prop.inner
+            if isinstance(inner, BoolExpr):
+                return self.bool_expr(inner)
+            if isinstance(inner, Implication):
+                return self._implication(inner)
+            raise PslError(f"unsupported body under always: {inner!r}")
+        if isinstance(prop, Never):
+            return ~self.bool_expr(prop.inner)
+        if isinstance(prop, Implication):
+            return self._implication(prop)
+        raise PslError(f"unsupported property {prop!r}")
+
+    def _implication(self, imp: Implication) -> Expr:
+        antecedent = self.bool_expr(imp.antecedent)
+        if isinstance(imp.consequent, Next):
+            delayed = self._delay(antecedent)
+            consequent = self.bool_expr(imp.consequent.operand)
+            return ~(delayed & ~consequent)
+        if isinstance(imp.consequent, BoolExpr):
+            consequent = self.bool_expr(imp.consequent)
+            return ~(antecedent & ~consequent)
+        raise PslError(f"unsupported consequent {imp.consequent!r}")
+
+    def _delay(self, expr: Expr) -> Expr:
+        """One-cycle pipeline register (initially 0) — the monitor state
+        for ``next``."""
+        index = next(self._monitor_count)
+        monitor = Reg(f"__psl_delay_{index}", 1, reset=0)
+        monitor.next = expr
+        self.design.add_reg(monitor)
+        return monitor
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+
+def compile_assertion(module: Module, vunit: VUnit, assert_name: str,
+                      design: Optional[FlatDesign] = None) -> TransitionSystem:
+    """Build the safety problem for one ``assert`` of a vunit.
+
+    All ``assume`` directives of the vunit constrain the problem.  The
+    returned transition system is cone-of-influence reduced.
+
+    ``design`` lets callers check against a transformed design (e.g. a
+    cut-point abstraction); monitor registers for ``next`` operators are
+    appended to it (they are globally uniquely named, so passing the
+    same design to several compilations is safe — unused monitors are
+    stripped by cone-of-influence reduction).
+    """
+    if design is None:
+        design = elaborate(module)
+    compiler = PropertyCompiler(design)
+
+    prop = vunit.property_named(assert_name)
+    if prop is None:
+        raise PslError(f"vunit {vunit.name!r} has no property "
+                       f"{assert_name!r}")
+    if (("assert", assert_name)) not in vunit.directives:
+        raise PslError(f"property {assert_name!r} is not asserted in "
+                       f"vunit {vunit.name!r}")
+
+    bad = compiler.violation(prop)
+    constraint: Expr = Const(1, 1)
+    for _, assumed in vunit.assumed():
+        constraint = constraint & compiler.holds(assumed)
+
+    design.outputs[BAD_OUTPUT] = bad
+    design.outputs[CONSTRAINT_OUTPUT] = constraint
+    blaster = bitblast(design)
+    name = f"{vunit.name}.{assert_name}"
+    ts = TransitionSystem.from_blaster(
+        blaster, BAD_OUTPUT, CONSTRAINT_OUTPUT, name=name
+    )
+    # leave the design reusable for the next assertion
+    del design.outputs[BAD_OUTPUT]
+    del design.outputs[CONSTRAINT_OUTPUT]
+    return ts
+
+
+def compile_vunit(module: Module, vunit: VUnit) -> List[TransitionSystem]:
+    """One safety problem per asserted property, in directive order."""
+    problems = []
+    for assert_name, _ in vunit.asserted():
+        problems.append(compile_assertion(module, vunit, assert_name))
+    return problems

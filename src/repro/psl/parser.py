@@ -1,0 +1,322 @@
+"""Recursive-descent parser for the paper's PSL subset.
+
+Grammar (comments ``// ...`` are attached to declarations):
+
+.. code-block:: text
+
+    vunit      := 'vunit' IDENT '(' IDENT ')' '{' item* '}'
+    item       := 'property' IDENT '=' property ';'
+                | 'assume' IDENT ';'
+                | 'assert' IDENT ';'
+    property   := 'always' '(' prop_body ')'
+                | 'never'  '(' bool_expr ')'
+                | prop_body
+    prop_body  := bool_expr [ '->' [ 'next' ] bool_expr ]
+    bool_expr  := or_expr
+    or_expr    := and_expr ( '|' and_expr )*
+    and_expr   := xor_expr ( '&' xor_expr )*
+    xor_expr   := unary ( '^' unary )*
+    unary      := '~' unary | '^' unary | primary
+    primary    := '(' bool_expr ')' | NUMBER | IDENT [ '[' n [':' n] ']' ]
+
+Note the PSL pun on ``^``: prefix it is xor-reduction (the parity
+check), infix it is binary xor — same as Verilog.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Always, AndB, BoolExpr, Implication, Literal, Name, Never, Next, NotB,
+    OrB, Property, PslError, RedXor, VUnit, XorB,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<arrow>->)
+  | (?P<num>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9.]*)
+  | (?P<sym>[{}()\[\];=~^&|:])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"vunit", "property", "assume", "assert", "always", "never",
+             "next"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise PslError(
+                f"unexpected character {source[position]!r} at offset "
+                f"{position}"
+            )
+        position = match.end()
+        if match.lastgroup in ("ws",):
+            continue
+        if match.lastgroup == "comment":
+            tokens.append(_Token("comment", match.group()[2:].strip(),
+                                 match.start()))
+            continue
+        if match.lastgroup == "arrow":
+            tokens.append(_Token("->", "->", match.start()))
+        elif match.lastgroup == "num":
+            tokens.append(_Token("num", match.group(), match.start()))
+        elif match.lastgroup == "ident":
+            text = match.group()
+            kind = text if text in _KEYWORDS else "ident"
+            tokens.append(_Token(kind, text, match.start()))
+        else:
+            tokens.append(_Token(match.group(), match.group(), match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = [t for t in _tokenize(source)]
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    def peek(self, skip_comments: bool = True) -> Optional[_Token]:
+        index = self.index
+        while index < len(self.tokens):
+            token = self.tokens[index]
+            if skip_comments and token.kind == "comment":
+                index += 1
+                continue
+            return token
+        return None
+
+    def next(self) -> _Token:
+        while self.index < len(self.tokens):
+            token = self.tokens[self.index]
+            self.index += 1
+            if token.kind == "comment":
+                continue
+            return token
+        raise PslError("unexpected end of input")
+
+    def take_comment(self) -> str:
+        """Consume an immediately-following comment token, if any."""
+        if (self.index < len(self.tokens)
+                and self.tokens[self.index].kind == "comment"):
+            token = self.tokens[self.index]
+            self.index += 1
+            return token.text
+        return ""
+
+    def expect(self, kind: str) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise PslError(f"expected {kind!r}, found {token.text!r} at "
+                           f"offset {token.pos}")
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+    # ------------------------------------------------------------------
+    def parse_vunit(self) -> VUnit:
+        self.expect("vunit")
+        name = self.expect("ident").text
+        self.expect("(")
+        module_name = self.expect("ident").text
+        self.expect(")")
+        self.expect("{")
+        comment = self.take_comment()
+        unit = VUnit(name=name, module_name=module_name, comment=comment)
+        while True:
+            token = self.peek()
+            if token is None:
+                raise PslError(f"vunit {name!r}: missing closing brace")
+            if token.kind == "}":
+                self.next()
+                break
+            self._parse_item(unit)
+        return unit
+
+    def _parse_item(self, unit: VUnit) -> None:
+        token = self.next()
+        if token.kind == "property":
+            prop_name = self.expect("ident").text
+            self.expect("=")
+            prop = self.parse_property()
+            self.expect(";")
+            comment = self.take_comment()
+            unit.declare(prop_name, prop, comment)
+        elif token.kind in ("assume", "assert"):
+            prop_name = self.expect("ident").text
+            self.expect(";")
+            self.take_comment()
+            if token.kind == "assume":
+                unit.assume(prop_name)
+            else:
+                unit.assert_(prop_name)
+        else:
+            raise PslError(f"unexpected {token.text!r} in vunit body at "
+                           f"offset {token.pos}")
+
+    # ------------------------------------------------------------------
+    def parse_property(self) -> Property:
+        token = self.peek()
+        if token is not None and token.kind == "always":
+            self.next()
+            self.expect("(")
+            body = self._parse_prop_body()
+            self.expect(")")
+            return Always(body)
+        if token is not None and token.kind == "never":
+            self.next()
+            self.expect("(")
+            body = self.parse_bool()
+            self.expect(")")
+            return Never(body)
+        body = self._parse_prop_body()
+        if isinstance(body, BoolExpr):
+            # bare boolean at the property level is an invariant
+            return Always(body)
+        return body if isinstance(body, Property) else Always(body)
+
+    def _parse_prop_body(self):
+        lhs = self.parse_bool()
+        token = self.peek()
+        if token is not None and token.kind == "->":
+            self.next()
+            token = self.peek()
+            if token is not None and token.kind == "next":
+                self.next()
+                rhs = Next(self.parse_bool())
+            else:
+                rhs = self.parse_bool()
+            return Implication(lhs, rhs)
+        return lhs
+
+    # ------------------------------------------------------------------
+    def parse_bool(self) -> BoolExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> BoolExpr:
+        expr = self._parse_and()
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "|":
+                return expr
+            self.next()
+            expr = OrB(expr, self._parse_and())
+
+    def _parse_and(self) -> BoolExpr:
+        expr = self._parse_xor()
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "&":
+                return expr
+            self.next()
+            expr = AndB(expr, self._parse_xor())
+
+    def _parse_xor(self) -> BoolExpr:
+        expr = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "^":
+                return expr
+            self.next()
+            expr = XorB(expr, self._parse_unary())
+
+    def _parse_unary(self) -> BoolExpr:
+        token = self.peek()
+        if token is not None and token.kind == "~":
+            self.next()
+            return NotB(self._parse_unary())
+        if token is not None and token.kind == "^":
+            self.next()
+            return RedXor(self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> BoolExpr:
+        token = self.next()
+        if token.kind == "(":
+            expr = self.parse_bool()
+            self.expect(")")
+            return expr
+        if token.kind == "num":
+            return Literal(int(token.text))
+        if token.kind == "ident":
+            return self._maybe_select(token.text)
+        raise PslError(f"unexpected {token.text!r} at offset {token.pos}")
+
+    def _maybe_select(self, ident: str) -> BoolExpr:
+        token = self.peek()
+        if token is None or token.kind != "[":
+            return Name(ident)
+        self.next()
+        msb = int(self.expect("num").text)
+        token = self.peek()
+        lsb = None
+        if token is not None and token.kind == ":":
+            self.next()
+            lsb = int(self.expect("num").text)
+        self.expect("]")
+        return Name(ident, msb, lsb)
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+
+def parse_vunit(source: str) -> VUnit:
+    """Parse one verification unit."""
+    parser = _Parser(source)
+    unit = parser.parse_vunit()
+    if not parser.at_end():
+        leftover = parser.peek()
+        raise PslError(f"trailing input at offset {leftover.pos}")
+    return unit
+
+
+def parse_vunits(source: str) -> List[VUnit]:
+    """Parse a file containing several verification units."""
+    parser = _Parser(source)
+    units = []
+    while not parser.at_end():
+        units.append(parser.parse_vunit())
+    return units
+
+
+def parse_property(source: str) -> Property:
+    """Parse a bare property expression."""
+    parser = _Parser(source)
+    prop = parser.parse_property()
+    if not parser.at_end():
+        leftover = parser.peek()
+        raise PslError(f"trailing input at offset {leftover.pos}")
+    return prop
+
+
+def parse_bool(source: str) -> BoolExpr:
+    """Parse a bare boolean-layer expression."""
+    parser = _Parser(source)
+    expr = parser.parse_bool()
+    if not parser.at_end():
+        leftover = parser.peek()
+        raise PslError(f"trailing input at offset {leftover.pos}")
+    return expr

@@ -1,0 +1,42 @@
+"""RTL substrate: expression IR, modules, parity protection, Verifiable
+RTL transforms, elaboration, bit-blasting and Verilog emission."""
+
+from .signals import (
+    Const, Expr, Input, Op, Reg, WidthError,
+    all_ones, cat, coerce, const, evaluate, mask, mux, substitute, walk, zext,
+)
+from .module import Instance, Module, RtlError, iter_leaf_modules, iter_modules
+from .integrity import (
+    COUNTER, DATAPATH, FSM, IntegritySpec, ParityGroup, ProtectedEntity,
+)
+from .parity import (
+    corrupt, data_bits, encode_value, odd_parity_bit, parity_bit, parity_ok,
+    protect, value_ok,
+)
+from .builder import (
+    ProtectedState, he_report, is_any_of, latched_flag, one_hot_codes,
+    parity_counter, parity_fsm, priority_select,
+)
+from .inject import EC_PORT, ED_PORT, make_verifiable, make_wrapper
+from .elaborate import FlatDesign, elaborate
+from .netlist import Aig, BitBlaster, bitblast
+from .lint import ERROR, WARNING, LintIssue, lint_verifiable, lint_wrapper
+from .verilog import emit_hierarchy, emit_module
+
+__all__ = [
+    "Const", "Expr", "Input", "Op", "Reg", "WidthError",
+    "all_ones", "cat", "coerce", "const", "evaluate", "mask", "mux",
+    "substitute", "walk", "zext",
+    "Instance", "Module", "RtlError", "iter_leaf_modules", "iter_modules",
+    "COUNTER", "DATAPATH", "FSM", "IntegritySpec", "ParityGroup",
+    "ProtectedEntity",
+    "corrupt", "data_bits", "encode_value", "odd_parity_bit", "parity_bit",
+    "parity_ok", "protect", "value_ok",
+    "ProtectedState", "he_report", "is_any_of", "latched_flag",
+    "one_hot_codes", "parity_counter", "parity_fsm", "priority_select",
+    "EC_PORT", "ED_PORT", "make_verifiable", "make_wrapper",
+    "FlatDesign", "elaborate",
+    "Aig", "BitBlaster", "bitblast",
+    "ERROR", "WARNING", "LintIssue", "lint_verifiable", "lint_wrapper",
+    "emit_hierarchy", "emit_module",
+]

@@ -1,0 +1,164 @@
+"""Builder helpers for parity-protected state machines and counters.
+
+These helpers capture the implementation idioms of the target chip
+(paper section 2): every FSM and counter register stores its state
+together with an odd-parity bit, and the integrity of the stored word
+is checked combinationally every cycle to drive the hardware error
+report (HE).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .module import Module
+from .parity import encode_value, odd_parity_bit, parity_ok, protect
+from .signals import Const, Expr, Reg, cat, mux
+
+
+class ProtectedState:
+    """A parity-protected register: ``width`` data bits plus one parity
+    MSB.
+
+    The register is driven through :meth:`drive`, which recomputes the
+    parity bit from the next data value (control-structure style), or
+    :meth:`drive_word`, which forwards an already-protected word
+    (datapath style, parity travels with the data).
+    """
+
+    def __init__(self, module: Module, name: str, data_width: int,
+                 reset_data: int = 0) -> None:
+        self.module = module
+        self.data_width = data_width
+        self.reg = module.reg(name, data_width + 1,
+                              reset=encode_value(reset_data, data_width))
+
+    @property
+    def word(self) -> Reg:
+        """The full protected word (data plus parity MSB)."""
+        return self.reg
+
+    @property
+    def data(self) -> Expr:
+        """The data bits of the stored word."""
+        return self.reg[0:self.data_width]
+
+    @property
+    def parity(self) -> Expr:
+        """The stored parity bit (MSB)."""
+        return self.reg[self.data_width]
+
+    def drive(self, next_data: Expr) -> None:
+        """Drive with fresh data; the parity bit is recomputed."""
+        if next_data.width != self.data_width:
+            raise ValueError(
+                f"{self.reg.name}: next data is {next_data.width} bits, "
+                f"expected {self.data_width}"
+            )
+        self.reg.next = protect(next_data)
+
+    def drive_word(self, next_word: Expr) -> None:
+        """Drive with a full protected word (parity propagates)."""
+        self.reg.next = next_word
+
+    def check_ok(self) -> Expr:
+        """1-bit integrity check of the stored word (odd parity)."""
+        return parity_ok(self.reg)
+
+    def check_fail(self) -> Expr:
+        """1-bit integrity *violation* flag — a HE contribution."""
+        return ~self.check_ok()
+
+
+def parity_counter(module: Module, name: str, data_width: int,
+                   enable: Expr, clear: Optional[Expr] = None,
+                   reset_value: int = 0) -> ProtectedState:
+    """Build a parity-protected up-counter.
+
+    Counts modulo ``2 ** data_width`` while ``enable`` is high; ``clear``
+    (optional) synchronously resets the count.  Parity is recomputed
+    every cycle from the next count value.
+    """
+    state = ProtectedState(module, name, data_width, reset_data=reset_value)
+    incremented = state.data + Const(1, data_width)
+    next_data = mux(enable, incremented, state.data)
+    if clear is not None:
+        next_data = mux(clear, Const(0, data_width), next_data)
+    state.drive(next_data)
+    return state
+
+
+def one_hot_codes(n_states: int, data_width: Optional[int] = None) -> List[int]:
+    """One-hot state encodings (a common chip FSM style)."""
+    width = data_width if data_width is not None else n_states
+    if n_states > width:
+        raise ValueError("more states than data bits for one-hot coding")
+    return [1 << i for i in range(n_states)]
+
+
+def is_any_of(value: Expr, codes: Sequence[int]) -> Expr:
+    """1-bit check that ``value`` equals one of ``codes`` — the legal-
+    state predicate used for illegal state detection."""
+    if not codes:
+        raise ValueError("empty code list")
+    check = value.eq(Const(codes[0], value.width))
+    for code in codes[1:]:
+        check = check | value.eq(Const(code, value.width))
+    return check
+
+
+def priority_select(conditions: Sequence[Expr], values: Sequence[Expr],
+                    default: Expr) -> Expr:
+    """Priority-encoded selection: the first true condition wins."""
+    if len(conditions) != len(values):
+        raise ValueError("conditions and values differ in length")
+    selected = default
+    for cond, value in zip(reversed(conditions), reversed(values)):
+        selected = mux(cond, value, selected)
+    return selected
+
+
+def parity_fsm(module: Module, name: str, data_width: int,
+               reset_state: int) -> ProtectedState:
+    """Declare a parity-protected FSM state register.
+
+    The caller computes the next-state data expression and finishes with
+    ``fsm.drive(next_state)``.
+    """
+    return ProtectedState(module, name, data_width, reset_data=reset_state)
+
+
+def latched_flag(module: Module, name: str, condition: Expr) -> Reg:
+    """Error-log register: latches a 1-bit condition for reporting in
+    the following cycle.
+
+    The chip's RAS style logs input-side integrity violations in a flop
+    before reporting, so the hardware error report fires exactly one
+    cycle after the violating word was presented (the ``-> next HE``
+    timing of the stereotype properties) — independent of anything else
+    happening in that cycle, error injection included.
+    """
+    if condition.width != 1:
+        raise ValueError(f"flag {name!r}: condition must be 1 bit")
+    flag = module.reg(name, 1, reset=0)
+    flag.next = condition
+    return flag
+
+
+def he_report(module: Module, name: str,
+              fail_flags: Iterable[Expr]) -> Expr:
+    """Build a registered hardware-error report output.
+
+    The OR of all integrity-violation flags is latched so the report
+    fires the cycle *after* the violating value is stored — matching the
+    paper's ``-> next HE`` stereotype timing.
+
+    Returns the HE output expression.
+    """
+    flags = list(fail_flags)
+    if not flags:
+        raise ValueError("he_report needs at least one failure flag")
+    combined = flags[0]
+    for flag in flags[1:]:
+        combined = combined | flag
+    return module.output(name, combined)

@@ -1,0 +1,135 @@
+"""The Verifiable-RTL error-injection transform (paper section 4.1).
+
+Designers make RTL *verifiable* by adding, per parity-protected entity,
+one error-injection control bit (EC) and routing a shared error-injection
+data bus (ED) into the entity's register:
+
+.. code-block:: verilog
+
+    always @(posedge CK or posedge RESET)
+        if (RESET)               cs <= 4'b1_000;
+        else if (I_ERR_INJ_C[0]) cs <= I_ERR_INJ_D;
+        else                     cs <= ns;
+
+:func:`make_verifiable` performs exactly this insertion mechanically on a
+leaf module whose :class:`~repro.rtl.integrity.IntegritySpec` lists the
+protected entities.  :func:`make_wrapper` builds the upper-layer module
+that ties the injection ports to zero, as required for real silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from .integrity import IntegritySpec
+from .module import Module, RtlError
+from .signals import Const, Expr, Input, Reg, mux, substitute
+
+#: Canonical port names from Figure 6 of the paper.
+EC_PORT = "I_ERR_INJ_C"
+ED_PORT = "I_ERR_INJ_D"
+
+
+def make_verifiable(module: Module, ec_port: str = EC_PORT,
+                    ed_port: str = ED_PORT) -> Module:
+    """Return a copy of leaf ``module`` with error injection inserted.
+
+    Requirements implemented (paper section 4.1):
+
+    - a *simple* injection method through primary input ports: one added
+      mux in front of each protected entity's register;
+    - *independent control per entity*: entity ``i`` is injected by EC
+      bit ``ec_index`` alone, all entities share the ED data bus.
+
+    The input module must be a leaf, must carry an
+    :class:`IntegritySpec` with at least one entity, and must not already
+    have the injection ports.
+    """
+    spec = module.integrity
+    if spec is None or not isinstance(spec, IntegritySpec):
+        raise RtlError(f"module {module.name!r} has no integrity spec")
+    if not module.is_leaf():
+        raise RtlError("error injection is inserted at leaf modules only")
+    if not spec.entities:
+        raise RtlError(f"module {module.name!r} has no protected entities")
+    if ec_port in module.inputs or ed_port in module.inputs:
+        raise RtlError(f"module {module.name!r} already has injection ports")
+
+    clone, mapping = _clone_leaf(module)
+
+    ec_width = max(ent.ec_index for ent in spec.entities) + 1
+    ed_width = max(_reg_by_name(clone, ent.reg_name).width
+                   for ent in spec.entities)
+    ec = clone.input(ec_port, ec_width)
+    ed = clone.input(ed_port, ed_width)
+
+    for ent in spec.entities:
+        reg = _reg_by_name(clone, ent.reg_name)
+        injected = ed[0:reg.width]
+        reg.next = mux(ec[ent.ec_index], injected, reg.next)
+
+    clone.integrity = IntegritySpec(
+        protected_inputs=list(spec.protected_inputs),
+        protected_outputs=list(spec.protected_outputs),
+        entities=list(spec.entities),
+        ec_port=ec_port,
+        ed_port=ed_port,
+        he_signals=list(spec.he_signals),
+        extra_properties=list(spec.extra_properties),
+        env_assumptions=list(spec.env_assumptions),
+        free_inputs=list(spec.free_inputs),
+        p0_overrides=dict(spec.p0_overrides),
+    )
+    clone.attrs = dict(module.attrs)
+    clone.attrs["verifiable"] = True
+    return clone
+
+
+def make_wrapper(verifiable: Module, wrapper_name: Optional[str] = None,
+                 inst_name: Optional[str] = None) -> Module:
+    """Build the upper-layer wrapper that ties EC/ED to zero.
+
+    All non-injection inputs pass through; all outputs are re-exported.
+    This is the module shipped to silicon (Figure 6, ``module A``).
+    """
+    spec = verifiable.integrity
+    if spec is None or spec.ec_port is None:
+        raise RtlError(f"module {verifiable.name!r} is not verifiable")
+    wrapper = Module(wrapper_name or f"{verifiable.name}_wrap")
+    bindings: Dict[str, Expr] = {}
+    for name, port in verifiable.inputs.items():
+        if name in (spec.ec_port, spec.ed_port):
+            bindings[name] = Const(0, port.width)
+        else:
+            bindings[name] = wrapper.input(name, port.width)
+    inst = wrapper.instantiate(verifiable, inst_name or verifiable.name.lower(),
+                               **bindings)
+    for name in verifiable.outputs:
+        wrapper.output(name, inst[name])
+    return wrapper
+
+
+def _clone_leaf(module: Module) -> "tuple[Module, Dict[Expr, Expr]]":
+    """Deep-copy a leaf module so the transform never mutates its input."""
+    clone = Module(module.name)
+    mapping: Dict[Expr, Expr] = {}
+    for name, port in module.inputs.items():
+        mapping[port] = clone.input(name, port.width)
+    for reg in module.regs:
+        mapping[reg] = clone.reg(reg.name, reg.width, reg.reset)
+    memo: Dict[int, Expr] = {}
+    for reg, fresh in zip(module.regs, clone.regs):
+        fresh.next = substitute(reg.next, mapping, memo)
+    for name, expr in module.outputs.items():
+        clone.output(name, substitute(expr, mapping, memo))
+    clone.integrity = module.integrity
+    clone.attrs = dict(module.attrs)
+    return clone, mapping
+
+
+def _reg_by_name(module: Module, name: str) -> Reg:
+    for reg in module.regs:
+        if reg.name == name:
+            return reg
+    raise RtlError(f"module {module.name!r}: no register named {name!r}")

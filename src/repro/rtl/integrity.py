@@ -1,0 +1,194 @@
+"""Data-integrity specification metadata.
+
+The paper's flow has logic designers release, together with the RTL, a
+*specification of data integrity*: which inputs/outputs carry parity,
+which internal entities (FSMs, counters, data-path registers) are parity
+protected, how errors are injected into each entity, and where hardware
+errors are reported.  That specification is what the verification
+engineer turns into the three stereotype PSL vunits.
+
+This module is the machine-readable form of that specification.  It is
+attached to a :class:`~repro.rtl.module.Module` as ``module.integrity``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+#: Entity kinds, mirroring the paper's classification.
+FSM = "fsm"
+COUNTER = "counter"
+DATAPATH = "datapath"
+
+ENTITY_KINDS = (FSM, COUNTER, DATAPATH)
+
+
+@dataclass(frozen=True)
+class ParityGroup:
+    """A parity-protected signal group on a port.
+
+    ``signal`` names a module input or output; the bits ``[lsb, lsb +
+    width)`` of that port form one odd-parity-protected word (data bits
+    plus parity bit together always carry an odd number of ones).
+    """
+
+    signal: str
+    lsb: int = 0
+    width: Optional[int] = None  # None = entire port
+
+    def describe(self) -> str:
+        if self.width is None:
+            return self.signal
+        hi = self.lsb + self.width - 1
+        return f"{self.signal}[{hi}:{self.lsb}]"
+
+
+@dataclass(frozen=True)
+class ProtectedEntity:
+    """A parity-protected internal state entity (FSM / counter / datapath
+    register) with its error-injection hookup.
+
+    ``reg_name`` names the register inside the module.  ``ec_index`` is
+    the bit of the module's error-injection control port dedicated to
+    this entity (EC is per-entity, per paper section 4.1), and the
+    injected value arrives on the shared error-injection data port,
+    bits ``[0, reg width)``.
+    """
+
+    name: str
+    reg_name: str
+    kind: str
+    ec_index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ENTITY_KINDS:
+            raise ValueError(f"unknown entity kind {self.kind!r}")
+
+
+@dataclass
+class IntegritySpec:
+    """Complete data-integrity specification of one leaf module.
+
+    Attributes mirror Figure 1 of the paper:
+
+    - ``protected_inputs`` — parity groups on primary inputs (``I``),
+    - ``protected_outputs`` — parity groups on primary outputs (``O``),
+    - ``entities`` — internal protected state (``A``/``B``) with their
+      EC hookup,
+    - ``ec_port`` / ``ed_port`` — error-injection control/data ports,
+    - ``he_signals`` — hardware-error report outputs (``HE``); each one
+      yields its own soundness (P1) assertion,
+    - ``extra_properties`` — named module-specific (P3) PSL property
+      sources.
+
+    Environment refinement (all optional, released by the designer as
+    part of the data-integrity specification):
+
+    - ``env_assumptions`` — named extra PSL ``assume`` sources for the
+      P1/P2/P3 vunits (e.g. "macro data carries parity only after the
+      interface is ready");
+    - ``free_inputs`` — protected input groups whose *default* integrity
+      assumption must be dropped because an ``env_assumptions`` entry
+      models them more precisely (a hard macro that is unstable right
+      after reset, say);
+    - ``p0_overrides`` — replacement Check2 property source per input
+      group, for checkpoints whose detection duty is qualified (e.g.
+      only while the interface accepts data).
+    """
+
+    protected_inputs: List[ParityGroup] = field(default_factory=list)
+    protected_outputs: List[ParityGroup] = field(default_factory=list)
+    entities: List[ProtectedEntity] = field(default_factory=list)
+    ec_port: Optional[str] = None
+    ed_port: Optional[str] = None
+    he_signals: List[str] = field(default_factory=list)
+    extra_properties: List[Tuple[str, str]] = field(default_factory=list)
+    env_assumptions: List[Tuple[str, str]] = field(default_factory=list)
+    free_inputs: List[str] = field(default_factory=list)
+    p0_overrides: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # checkpoint accounting (drives the Table 2 property counts)
+    # ------------------------------------------------------------------
+    def count_p0(self) -> int:
+        """Error-detection (P0) assertions: one Check1 per entity plus
+        one Check2 per protected input group."""
+        return len(self.entities) + len(self.protected_inputs)
+
+    def count_p1(self) -> int:
+        """Soundness (P1) assertions: one ``never HE`` per report bit."""
+        return len(self.he_signals)
+
+    def count_p2(self) -> int:
+        """Output-integrity (P2) assertions: one per output group."""
+        return len(self.protected_outputs)
+
+    def count_p3(self) -> int:
+        """Other (P3) assertions supplied by the designer."""
+        return len(self.extra_properties)
+
+    def count_total(self) -> int:
+        return self.count_p0() + self.count_p1() + self.count_p2() + self.count_p3()
+
+    def has_checkpoints(self) -> bool:
+        """Modules with no internal state and no parity-protected paths
+        are excluded from the formal scope (paper section 3)."""
+        return bool(self.entities or self.protected_inputs
+                    or self.protected_outputs)
+
+    def entity(self, name: str) -> ProtectedEntity:
+        for ent in self.entities:
+            if ent.name == name:
+                return ent
+        raise KeyError(f"no protected entity named {name!r}")
+
+    def validate_against(self, module) -> List[str]:
+        """Return a list of inconsistencies between this spec and the
+        module's actual ports/registers (empty list = consistent)."""
+        problems: List[str] = []
+        reg_names = {r.name: r for r in module.regs}
+        for ent in self.entities:
+            if ent.reg_name not in reg_names:
+                problems.append(
+                    f"entity {ent.name!r} references missing register "
+                    f"{ent.reg_name!r}"
+                )
+        if self.entities:
+            if self.ec_port is None or self.ec_port not in module.inputs:
+                problems.append("EC port missing or not an input")
+            if self.ed_port is None or self.ed_port not in module.inputs:
+                problems.append("ED port missing or not an input")
+            else:
+                ed_width = module.inputs[self.ed_port].width
+                for ent in self.entities:
+                    reg = reg_names.get(ent.reg_name)
+                    if reg is not None and reg.width > ed_width:
+                        problems.append(
+                            f"entity {ent.name!r}: register wider than ED "
+                            f"({reg.width} > {ed_width})"
+                        )
+            if self.ec_port is not None and self.ec_port in module.inputs:
+                ec_width = module.inputs[self.ec_port].width
+                indices = [e.ec_index for e in self.entities]
+                if len(set(indices)) != len(indices):
+                    problems.append("EC indices are not per-entity unique")
+                for ent in self.entities:
+                    if not 0 <= ent.ec_index < ec_width:
+                        problems.append(
+                            f"entity {ent.name!r}: EC index {ent.ec_index} "
+                            f"out of range for {ec_width}-bit EC port"
+                        )
+        for group in self.protected_inputs:
+            if group.signal not in module.inputs:
+                problems.append(f"input parity group on missing port "
+                                f"{group.signal!r}")
+        for group in self.protected_outputs:
+            if group.signal not in module.outputs:
+                problems.append(f"output parity group on missing port "
+                                f"{group.signal!r}")
+        for he in self.he_signals:
+            if he not in module.outputs:
+                problems.append(f"HE signal {he!r} is not an output")
+        return problems

@@ -1,0 +1,142 @@
+"""Verifiable-RTL lint.
+
+Checks that a leaf module satisfies the Verifiable RTL requirements the
+logic designers commit to in the paper's flow (section 4.1):
+
+- **VR1** — a simple error-injection method exists through primary input
+  ports (EC/ED are inputs, ED is wide enough for every entity);
+- **VR2** — injection is controlled independently per entity (one unique
+  EC bit each), and the EC bit actually steers the entity register to ED
+  (structural mux pattern in front of the register);
+- **VR3** — the wrapper module ties the injection ports to zero, because
+  they are unused in real silicon;
+- **VR4** — the released integrity specification is consistent with the
+  module's ports and registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .integrity import IntegritySpec
+from .module import Module
+from .signals import Const, Expr, Op, Reg, walk
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One lint finding."""
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.severity}: {self.message}"
+
+
+def lint_verifiable(module: Module) -> List[LintIssue]:
+    """Lint one leaf module against VR1/VR2/VR4."""
+    issues: List[LintIssue] = []
+    spec = module.integrity
+    if spec is None:
+        issues.append(LintIssue(ERROR, "VR4", f"module {module.name!r} "
+                                              "released without an integrity spec"))
+        return issues
+
+    for problem in spec.validate_against(module):
+        issues.append(LintIssue(ERROR, "VR4", f"{module.name}: {problem}"))
+
+    if not spec.entities:
+        return issues
+
+    if spec.ec_port is None or spec.ed_port is None:
+        issues.append(LintIssue(
+            ERROR, "VR1",
+            f"{module.name}: protected entities without EC/ED injection ports"
+        ))
+        return issues
+
+    ec = module.inputs.get(spec.ec_port)
+    ed = module.inputs.get(spec.ed_port)
+    if ec is None or ed is None:
+        return issues  # VR4 already reported the missing ports
+
+    seen_indices = set()
+    for ent in spec.entities:
+        if ent.ec_index in seen_indices:
+            issues.append(LintIssue(
+                ERROR, "VR2",
+                f"{module.name}: EC bit {ent.ec_index} controls more than "
+                f"one entity — injection must be independent per entity"
+            ))
+        seen_indices.add(ent.ec_index)
+
+        reg = next((r for r in module.regs if r.name == ent.reg_name), None)
+        if reg is None:
+            continue
+        if not _has_injection_mux(reg, ec, ed, ent.ec_index):
+            issues.append(LintIssue(
+                ERROR, "VR2",
+                f"{module.name}: entity {ent.name!r} register "
+                f"{ent.reg_name!r} is not steered by EC[{ent.ec_index}]"
+            ))
+    return issues
+
+
+def lint_wrapper(wrapper: Module, ec_port: str = "I_ERR_INJ_C",
+                 ed_port: str = "I_ERR_INJ_D") -> List[LintIssue]:
+    """Lint a wrapper module against VR3 (injection ports tied to zero)."""
+    issues: List[LintIssue] = []
+    for inst in wrapper.instances:
+        for port in (ec_port, ed_port):
+            if port not in inst.module.inputs:
+                continue
+            bound = inst.bindings.get(port)
+            if not (isinstance(bound, Const) and bound.value == 0):
+                issues.append(LintIssue(
+                    ERROR, "VR3",
+                    f"{wrapper.name}: instance {inst.name!r} does not tie "
+                    f"{port} to zero"
+                ))
+    return issues
+
+
+def _has_injection_mux(reg: Reg, ec: Expr, ed: Expr, ec_index: int) -> bool:
+    """Look for ``mux(EC[i], ED[...], _)`` anywhere in the register's
+    next-state cone."""
+    for node in walk([reg.next]):
+        if not (isinstance(node, Op) and node.kind == "MUX"):
+            continue
+        sel, if_true, _ = node.operands
+        if _is_bit_of(sel, ec, ec_index) and _reads_only(if_true, ed):
+            return True
+    return False
+
+
+def _is_bit_of(expr: Expr, port: Expr, index: int) -> bool:
+    if expr is port and port.width == 1 and index == 0:
+        return True
+    return (
+        isinstance(expr, Op)
+        and expr.kind == "SLICE"
+        and expr.operands[0] is port
+        and expr.width == 1
+        and expr.param == index
+    )
+
+
+def _reads_only(expr: Expr, port: Expr) -> bool:
+    """True when the expression's only leaf is ``port`` (possibly
+    sliced)."""
+    saw_port = False
+    for node in walk([expr]):
+        if node is port:
+            saw_port = True
+        elif not isinstance(node, (Op, Const)):
+            return False
+    return saw_port

@@ -1,0 +1,217 @@
+"""Hierarchical RTL module model.
+
+A :class:`Module` owns input ports, registers, named output expressions
+and child :class:`Instance` objects.  Hierarchy is purely structural:
+an instance binds parent-scope expressions to the child's input ports and
+exposes the child's outputs back to the parent as :class:`InstPort`
+expression nodes.  Flattening lives in :mod:`repro.rtl.elaborate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .signals import Expr, ExprLike, Input, InstPort, Reg, coerce
+
+
+class RtlError(ValueError):
+    """Raised for structural RTL construction errors."""
+
+
+class Module:
+    """A hardware module: ports, state, logic, and child instances.
+
+    Use the builder-style methods::
+
+        m = Module("leaf")
+        data = m.input("I_DATA", 8)
+        state = m.reg("cs", 4, reset=0b1000)
+        state.next = ...
+        m.output("O_DATA", data ^ 1)
+
+    ``integrity`` optionally carries the module's data-integrity
+    specification (see :mod:`repro.rtl.integrity`); the methodology's
+    stereotype property generators read it.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: Dict[str, Input] = {}
+        self.outputs: Dict[str, Expr] = {}
+        self.regs: List[Reg] = []
+        self.instances: List["Instance"] = []
+        self.integrity = None  # Optional[IntegritySpec]
+        self.attrs: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def input(self, name: str, width: int = 1) -> Input:
+        """Declare an input port and return its expression."""
+        if name in self.inputs:
+            raise RtlError(f"module {self.name!r}: duplicate input {name!r}")
+        if name in self.outputs:
+            raise RtlError(f"module {self.name!r}: {name!r} is already an output")
+        port = Input(name, width)
+        self.inputs[name] = port
+        return port
+
+    def output(self, name: str, expr: ExprLike, width: Optional[int] = None) -> Expr:
+        """Declare an output port driven by ``expr``."""
+        if name in self.outputs:
+            raise RtlError(f"module {self.name!r}: duplicate output {name!r}")
+        if name in self.inputs:
+            raise RtlError(f"module {self.name!r}: {name!r} is already an input")
+        if not isinstance(expr, Expr):
+            if width is None:
+                raise RtlError(f"output {name!r}: constant value needs explicit width")
+            expr = coerce(expr, width)
+        self.outputs[name] = expr
+        return expr
+
+    def reg(self, name: str, width: int = 1, reset: int = 0) -> Reg:
+        """Declare a register (DFF bank) with a reset value."""
+        if any(r.name == name for r in self.regs):
+            raise RtlError(f"module {self.name!r}: duplicate register {name!r}")
+        r = Reg(name, width, reset)
+        self.regs.append(r)
+        return r
+
+    def instantiate(self, child: "Module", inst_name: str,
+                    **bindings: ExprLike) -> "Instance":
+        """Instantiate ``child``, binding its inputs to parent expressions.
+
+        Every child input must be bound.  Returns the :class:`Instance`,
+        whose outputs are read with ``inst["PORT_NAME"]``.
+        """
+        inst = Instance(self, child, inst_name, bindings)
+        self.instances.append(inst)
+        return inst
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def signal(self, name: str) -> Expr:
+        """Resolve a signal by name: input, output, or register.
+
+        This is the namespace PSL properties are bound against.
+        """
+        if name in self.inputs:
+            return self.inputs[name]
+        if name in self.outputs:
+            return self.outputs[name]
+        for r in self.regs:
+            if r.name == name:
+                return r
+        raise KeyError(f"module {self.name!r}: no signal named {name!r}")
+
+    def signal_names(self) -> List[str]:
+        """All resolvable signal names (inputs, outputs, registers)."""
+        names = list(self.inputs)
+        names.extend(self.outputs)
+        names.extend(r.name for r in self.regs)
+        return names
+
+    def is_leaf(self) -> bool:
+        """A leaf module instantiates no children (paper section 3)."""
+        return not self.instances
+
+    def port_order(self) -> List[str]:
+        """Deterministic port listing used by the Verilog emitter."""
+        return list(self.inputs) + list(self.outputs)
+
+    def validate(self) -> None:
+        """Check structural completeness (all registers driven, all
+        instance inputs bound)."""
+        for r in self.regs:
+            if not r.has_next:
+                raise RtlError(
+                    f"module {self.name!r}: register {r.name!r} has no "
+                    f"next-state function"
+                )
+        for inst in self.instances:
+            inst.validate()
+            inst.module.validate()
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, {len(self.inputs)} in, "
+            f"{len(self.outputs)} out, {len(self.regs)} regs, "
+            f"{len(self.instances)} insts)"
+        )
+
+
+class Instance:
+    """A child module instantiation inside a parent module."""
+
+    def __init__(self, parent: Module, module: Module, name: str,
+                 bindings: Dict[str, ExprLike]) -> None:
+        self.parent = parent
+        self.module = module
+        self.name = name
+        self.bindings: Dict[str, Expr] = {}
+        for port, value in bindings.items():
+            self.bind(port, value)
+        self._outputs: Dict[str, InstPort] = {}
+
+    def bind(self, port: str, value: ExprLike) -> None:
+        """Bind a child input port to a parent-scope expression."""
+        if port not in self.module.inputs:
+            raise RtlError(
+                f"instance {self.name!r}: module {self.module.name!r} has no "
+                f"input {port!r}"
+            )
+        expected = self.module.inputs[port].width
+        expr = coerce(value, expected)
+        if expr.width != expected:
+            raise RtlError(
+                f"instance {self.name!r}: binding for {port!r} is "
+                f"{expr.width} bits, expected {expected}"
+            )
+        self.bindings[port] = expr
+
+    def __getitem__(self, port: str) -> InstPort:
+        """Read a child output port in the parent scope."""
+        if port not in self.module.outputs:
+            raise RtlError(
+                f"instance {self.name!r}: module {self.module.name!r} has no "
+                f"output {port!r}"
+            )
+        if port not in self._outputs:
+            width = self.module.outputs[port].width
+            self._outputs[port] = InstPort(self, port, width)
+        return self._outputs[port]
+
+    def validate(self) -> None:
+        missing = [p for p in self.module.inputs if p not in self.bindings]
+        if missing:
+            raise RtlError(
+                f"instance {self.name!r} of {self.module.name!r}: unbound "
+                f"inputs {missing}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Instance({self.name!r} of {self.module.name!r})"
+
+
+def iter_modules(top: Module) -> Iterable[Module]:
+    """Yield ``top`` and every module instantiated (transitively) below
+    it, each distinct module object exactly once, leaves first."""
+    seen: Dict[int, Module] = {}
+
+    def visit(mod: Module):
+        if id(mod) in seen:
+            return
+        seen[id(mod)] = mod
+        for inst in mod.instances:
+            visit(inst.module)
+        yield_order.append(mod)
+
+    yield_order: List[Module] = []
+    visit(top)
+    return yield_order
+
+
+def iter_leaf_modules(top: Module) -> List[Module]:
+    """All distinct leaf modules under (and including) ``top``."""
+    return [m for m in iter_modules(top) if m.is_leaf()]

@@ -1,0 +1,64 @@
+"""Odd-parity protection primitives.
+
+The target chip protects every data path, register, FSM and counter with
+odd parity: a protected ``w``-bit word consists of ``w - 1`` data bits
+plus one parity bit chosen so the whole word always carries an odd
+number of ones.  The PSL boolean-layer check ``^WORD`` (XOR reduction)
+is then 1 exactly when integrity holds.
+"""
+
+from __future__ import annotations
+
+from .signals import Expr, cat
+
+
+def parity_ok(word: Expr, lsb: int = 0, width: int = None) -> Expr:
+    """1-bit check that an odd-parity word holds integrity.
+
+    Equivalent to the paper's PSL ``^WORD`` boolean expression.
+    """
+    if width is not None or lsb:
+        hi = (lsb + width) if width is not None else word.width
+        word = word[lsb:hi]
+    return word.reduce_xor()
+
+
+def odd_parity_bit(data: Expr) -> Expr:
+    """Parity bit making ``{parity, data}`` an odd-parity word."""
+    return ~data.reduce_xor()
+
+
+def protect(data: Expr) -> Expr:
+    """Append an odd-parity bit as the MSB: returns ``{parity, data}``."""
+    return cat(odd_parity_bit(data), data)
+
+
+def data_bits(word: Expr) -> Expr:
+    """Strip the MSB parity bit off a protected word."""
+    return word[0:word.width - 1]
+
+
+def parity_bit(word: Expr) -> Expr:
+    """The MSB parity bit of a protected word."""
+    return word[word.width - 1]
+
+
+def encode_value(data_value: int, data_width: int) -> int:
+    """Encode an integer into an odd-parity word (parity in the MSB).
+
+    The Python-side mirror of :func:`protect`, used by testbenches and
+    stimulus generators.
+    """
+    ones = bin(data_value & ((1 << data_width) - 1)).count("1")
+    parity = (ones & 1) ^ 1
+    return (parity << data_width) | (data_value & ((1 << data_width) - 1))
+
+
+def value_ok(word_value: int) -> bool:
+    """Python-side odd-parity integrity check of an encoded word."""
+    return (bin(word_value).count("1") & 1) == 1
+
+
+def corrupt(word_value: int, bit: int) -> int:
+    """Flip one bit of an encoded word, breaking its parity."""
+    return word_value ^ (1 << bit)

@@ -1,0 +1,486 @@
+"""Word-level bit-vector expression IR.
+
+This is the foundation of the RTL substrate: immutable, width-checked
+expression nodes with Python operator overloading, plus a generic
+substitution engine used by elaboration and the Verifiable-RTL transform.
+
+Values are plain Python ints masked to the expression width.  All
+operations are unsigned and modular.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+def mask(width: int) -> int:
+    """All-ones mask for ``width`` bits."""
+    return (1 << width) - 1
+
+
+class WidthError(ValueError):
+    """Raised when expression operand widths are inconsistent."""
+
+
+class Expr:
+    """Base class for all word-level expressions.
+
+    Every expression has a fixed bit ``width``.  Subclasses are immutable
+    value objects except :class:`Reg`, whose ``next`` function is assigned
+    after construction (sequential feedback requires it).
+    """
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise WidthError(f"expression width must be positive, got {width}")
+        self.width = width
+
+    # ------------------------------------------------------------------
+    # operator overloading
+    # ------------------------------------------------------------------
+    def __invert__(self) -> "Expr":
+        return Op("NOT", (self,), self.width)
+
+    def __and__(self, other: "ExprLike") -> "Expr":
+        return _binop("AND", self, other)
+
+    def __rand__(self, other: "ExprLike") -> "Expr":
+        return _binop("AND", coerce(other, self.width), self)
+
+    def __or__(self, other: "ExprLike") -> "Expr":
+        return _binop("OR", self, other)
+
+    def __ror__(self, other: "ExprLike") -> "Expr":
+        return _binop("OR", coerce(other, self.width), self)
+
+    def __xor__(self, other: "ExprLike") -> "Expr":
+        return _binop("XOR", self, other)
+
+    def __rxor__(self, other: "ExprLike") -> "Expr":
+        return _binop("XOR", coerce(other, self.width), self)
+
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return _binop("ADD", self, other)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return _binop("SUB", self, other)
+
+    def eq(self, other: "ExprLike") -> "Expr":
+        """1-bit equality comparison."""
+        other = coerce(other, self.width)
+        if other.width != self.width:
+            raise WidthError(f"eq: width {self.width} vs {other.width}")
+        return Op("EQ", (self, other), 1)
+
+    def ne(self, other: "ExprLike") -> "Expr":
+        """1-bit inequality comparison."""
+        return ~self.eq(other)
+
+    def lt(self, other: "ExprLike") -> "Expr":
+        """1-bit unsigned less-than."""
+        other = coerce(other, self.width)
+        if other.width != self.width:
+            raise WidthError(f"lt: width {self.width} vs {other.width}")
+        return Op("LT", (self, other), 1)
+
+    def ge(self, other: "ExprLike") -> "Expr":
+        """1-bit unsigned greater-or-equal."""
+        return ~self.lt(other)
+
+    def __getitem__(self, index) -> "Expr":
+        if isinstance(index, slice):
+            lo, hi = _decode_slice(index, self.width)
+            return Op("SLICE", (self,), hi - lo + 1, param=lo)
+        if not 0 <= index < self.width:
+            raise WidthError(f"bit index {index} out of range for width {self.width}")
+        return Op("SLICE", (self,), 1, param=index)
+
+    def reduce_xor(self) -> "Expr":
+        """XOR-reduction of all bits (the PSL ``^sig`` operator).
+
+        For odd-parity protected words this is the integrity check: the
+        result is 1 exactly when the word carries an odd number of ones.
+        """
+        return Op("REDXOR", (self,), 1)
+
+    def reduce_or(self) -> "Expr":
+        """OR-reduction of all bits."""
+        return Op("REDOR", (self,), 1)
+
+    def reduce_and(self) -> "Expr":
+        """AND-reduction of all bits."""
+        return Op("REDAND", (self,), 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} w{self.width}>"
+
+
+ExprLike = object  # Expr | int
+
+
+def _decode_slice(index: slice, width: int) -> Tuple[int, int]:
+    """Decode Verilog-style ``sig[hi:lo]`` or Python ``sig[lo:hi+1]``.
+
+    We adopt the Python convention: ``sig[a:b]`` selects bits ``a`` (lsb)
+    through ``b - 1`` inclusive.  ``step`` is not supported.
+    """
+    if index.step is not None:
+        raise WidthError("slice step is not supported")
+    lo = 0 if index.start is None else index.start
+    hi = width - 1 if index.stop is None else index.stop - 1
+    if not (0 <= lo <= hi < width):
+        raise WidthError(f"slice [{lo}:{hi}] out of range for width {width}")
+    return lo, hi
+
+
+def coerce(value: ExprLike, width: int) -> Expr:
+    """Coerce an int to a :class:`Const` of ``width``; pass exprs through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value), width)
+    if isinstance(value, int):
+        return Const(value, width)
+    raise TypeError(f"cannot coerce {value!r} to an expression")
+
+
+def _binop(kind: str, a: Expr, b: ExprLike) -> Expr:
+    b = coerce(b, a.width)
+    if a.width != b.width:
+        raise WidthError(f"{kind}: width mismatch {a.width} vs {b.width}")
+    return Op(kind, (a, b), a.width)
+
+
+class Const(Expr):
+    """Constant bit-vector value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, width: int) -> None:
+        super().__init__(width)
+        if value < 0:
+            raise WidthError(f"constant value must be non-negative, got {value}")
+        if value > mask(width):
+            raise WidthError(f"constant {value} does not fit in {width} bits")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Const({self.value:#x}, w{self.width})"
+
+
+class Input(Expr):
+    """Primary input port of a module."""
+
+    __slots__ = ("name",)
+
+    _ids = itertools.count()
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(width)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Input({self.name!r}, w{self.width})"
+
+
+class Reg(Expr):
+    """State element (D flip-flop bank) with synchronous reset value.
+
+    Reading a :class:`Reg` as an expression yields its current-state
+    value.  The next-state function is assigned once via :attr:`next`.
+    """
+
+    __slots__ = ("name", "reset", "_next")
+
+    def __init__(self, name: str, width: int, reset: int = 0) -> None:
+        super().__init__(width)
+        if reset < 0 or reset > mask(width):
+            raise WidthError(f"reset value {reset} does not fit in {width} bits")
+        self.name = name
+        self.reset = reset
+        self._next: Optional[Expr] = None
+
+    @property
+    def next(self) -> Expr:
+        if self._next is None:
+            raise ValueError(f"register {self.name!r} has no next-state function")
+        return self._next
+
+    @next.setter
+    def next(self, value: ExprLike) -> None:
+        expr = coerce(value, self.width)
+        if expr.width != self.width:
+            raise WidthError(
+                f"register {self.name!r}: next width {expr.width} != {self.width}"
+            )
+        self._next = expr
+
+    @property
+    def has_next(self) -> bool:
+        return self._next is not None
+
+    def __repr__(self) -> str:
+        return f"Reg({self.name!r}, w{self.width})"
+
+
+class Op(Expr):
+    """Combinational operator node.
+
+    ``kind`` is one of: NOT AND OR XOR ADD SUB EQ LT MUX CONCAT SLICE
+    REDXOR REDOR REDAND.  ``param`` carries the lsb offset for SLICE.
+    """
+
+    __slots__ = ("kind", "operands", "param")
+
+    KINDS = frozenset(
+        [
+            "NOT", "AND", "OR", "XOR", "ADD", "SUB", "EQ", "LT",
+            "MUX", "CONCAT", "SLICE", "REDXOR", "REDOR", "REDAND",
+        ]
+    )
+
+    def __init__(self, kind: str, operands: Tuple[Expr, ...], width: int,
+                 param: Optional[int] = None) -> None:
+        super().__init__(width)
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown operator kind {kind!r}")
+        self.kind = kind
+        self.operands = tuple(operands)
+        self.param = param
+
+    def __repr__(self) -> str:
+        return f"Op({self.kind}, w{self.width})"
+
+
+class InstPort(Expr):
+    """Output port of a module instance, read in the parent scope.
+
+    These nodes exist only before elaboration; flattening replaces them
+    with the instantiated child's output expression.
+    """
+
+    __slots__ = ("instance", "port")
+
+    def __init__(self, instance: object, port: str, width: int) -> None:
+        super().__init__(width)
+        self.instance = instance
+        self.port = port
+
+    def __repr__(self) -> str:
+        return f"InstPort({self.port!r}, w{self.width})"
+
+
+# ----------------------------------------------------------------------
+# convenience constructors
+# ----------------------------------------------------------------------
+
+def const(value: int, width: int) -> Const:
+    """Build a constant bit-vector."""
+    return Const(value, width)
+
+
+def mux(sel: Expr, if_true: ExprLike, if_false: ExprLike) -> Expr:
+    """2:1 multiplexer; ``sel`` must be 1 bit wide."""
+    if sel.width != 1:
+        raise WidthError(f"mux select must be 1 bit, got {sel.width}")
+    if isinstance(if_true, Expr):
+        width = if_true.width
+    elif isinstance(if_false, Expr):
+        width = if_false.width
+    else:
+        raise TypeError("mux needs at least one Expr arm to infer width")
+    a = coerce(if_true, width)
+    b = coerce(if_false, width)
+    if a.width != b.width:
+        raise WidthError(f"mux arms differ in width: {a.width} vs {b.width}")
+    return Op("MUX", (sel, a, b), width)
+
+
+def cat(*parts: Expr) -> Expr:
+    """Concatenate expressions, first argument becomes the MSBs.
+
+    Mirrors Verilog ``{a, b, c}`` ordering.
+    """
+    if not parts:
+        raise WidthError("cat() needs at least one part")
+    if len(parts) == 1:
+        return parts[0]
+    width = sum(p.width for p in parts)
+    return Op("CONCAT", tuple(parts), width)
+
+
+def zext(expr: Expr, width: int) -> Expr:
+    """Zero-extend ``expr`` to ``width`` bits."""
+    if width < expr.width:
+        raise WidthError(f"cannot zero-extend w{expr.width} down to w{width}")
+    if width == expr.width:
+        return expr
+    return cat(Const(0, width - expr.width), expr)
+
+
+def all_ones(width: int) -> Const:
+    """Constant with every bit set."""
+    return Const(mask(width), width)
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+
+def evaluate(expr: Expr, env: Dict[Expr, int],
+             memo: Optional[Dict[int, int]] = None) -> int:
+    """Evaluate ``expr`` given values for every :class:`Input` and
+    :class:`Reg` leaf in ``env`` (keyed by the node objects themselves).
+
+    ``memo`` caches results by node identity; pass a fresh dict per cycle.
+    Iterative (explicit stack) so deep expression trees do not overflow
+    Python's recursion limit.
+    """
+    if memo is None:
+        memo = {}
+    stack: List[Expr] = [expr]
+    while stack:
+        node = stack[-1]
+        key = id(node)
+        if key in memo:
+            stack.pop()
+            continue
+        if isinstance(node, Const):
+            memo[key] = node.value
+            stack.pop()
+            continue
+        if isinstance(node, (Input, Reg)):
+            try:
+                memo[key] = env[node] & mask(node.width)
+            except KeyError:
+                raise KeyError(f"no value bound for {node!r}") from None
+            stack.pop()
+            continue
+        if isinstance(node, InstPort):
+            raise TypeError("cannot evaluate un-elaborated InstPort; flatten first")
+        assert isinstance(node, Op)
+        pending = [op for op in node.operands if id(op) not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        vals = [memo[id(op)] for op in node.operands]
+        memo[key] = _eval_op(node, vals)
+        stack.pop()
+    return memo[id(expr)]
+
+
+def _eval_op(node: Op, vals: List[int]) -> int:
+    m = mask(node.width)
+    kind = node.kind
+    if kind == "NOT":
+        return ~vals[0] & m
+    if kind == "AND":
+        return vals[0] & vals[1]
+    if kind == "OR":
+        return vals[0] | vals[1]
+    if kind == "XOR":
+        return vals[0] ^ vals[1]
+    if kind == "ADD":
+        return (vals[0] + vals[1]) & m
+    if kind == "SUB":
+        return (vals[0] - vals[1]) & m
+    if kind == "EQ":
+        return int(vals[0] == vals[1])
+    if kind == "LT":
+        return int(vals[0] < vals[1])
+    if kind == "MUX":
+        return vals[1] if vals[0] else vals[2]
+    if kind == "CONCAT":
+        acc = 0
+        for operand, val in zip(node.operands, vals):
+            acc = (acc << operand.width) | val
+        return acc
+    if kind == "SLICE":
+        return (vals[0] >> node.param) & m
+    if kind == "REDXOR":
+        return bin(vals[0]).count("1") & 1
+    if kind == "REDOR":
+        return int(vals[0] != 0)
+    if kind == "REDAND":
+        return int(vals[0] == mask(node.operands[0].width))
+    raise AssertionError(f"unhandled op {kind}")
+
+
+# ----------------------------------------------------------------------
+# substitution
+# ----------------------------------------------------------------------
+
+def substitute(expr: Expr, mapping: Dict[Expr, Expr],
+               memo: Optional[Dict[int, Expr]] = None,
+               inst_resolver: Optional[Callable[[InstPort], Expr]] = None) -> Expr:
+    """Rewrite ``expr``, replacing leaves per ``mapping`` (identity keys).
+
+    ``inst_resolver``, when given, maps :class:`InstPort` nodes to
+    replacement expressions (used by elaboration).  Shared sub-graphs stay
+    shared in the output thanks to the identity memo.
+    """
+    if memo is None:
+        memo = {}
+    stack: List[Expr] = [expr]
+    while stack:
+        node = stack[-1]
+        key = id(node)
+        if key in memo:
+            stack.pop()
+            continue
+        mapped = mapping.get(node)
+        if mapped is not None:
+            if mapped.width != node.width:
+                raise WidthError(
+                    f"substitution changes width {node.width} -> {mapped.width}"
+                )
+            memo[key] = mapped
+            stack.pop()
+            continue
+        if isinstance(node, (Const, Input, Reg)):
+            memo[key] = node
+            stack.pop()
+            continue
+        if isinstance(node, InstPort):
+            if inst_resolver is None:
+                memo[key] = node
+                stack.pop()
+                continue
+            resolved = inst_resolver(node)
+            if id(resolved) not in memo and resolved is not node:
+                # The resolved expression may itself need rewriting.
+                stack.append(resolved)
+                continue
+            memo[key] = memo.get(id(resolved), resolved)
+            stack.pop()
+            continue
+        assert isinstance(node, Op)
+        pending = [op for op in node.operands if id(op) not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        new_ops = tuple(memo[id(op)] for op in node.operands)
+        if all(a is b for a, b in zip(new_ops, node.operands)):
+            memo[key] = node
+        else:
+            memo[key] = Op(node.kind, new_ops, node.width, param=node.param)
+        stack.pop()
+    return memo[id(expr)]
+
+
+def walk(roots: Iterable[Expr]) -> Iterable[Expr]:
+    """Yield every node reachable from ``roots`` exactly once (post-order
+    not guaranteed; use for collection, not evaluation)."""
+    seen: Dict[int, Expr] = {}
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen[id(node)] = node
+        yield node
+        if isinstance(node, Op):
+            stack.extend(node.operands)

@@ -1,0 +1,18 @@
+"""Logic-simulation substrate: simulator, stimulus, testbenches,
+coverage, and the simulation bug-hunt campaign (the paper's baseline)."""
+
+from .simulator import SimulationError, Simulator
+from .stimulus import DirectedSequence, IntegrityStimulus
+from .testbench import (
+    HeMonitor, Monitor, OutputParityMonitor, Testbench, Violation,
+)
+from .coverage import CheckpointCoverage, ToggleCoverage, ToggleStats
+from .campaign import SimCampaignReport, SimModuleResult, SimulationCampaign
+
+__all__ = [
+    "SimulationError", "Simulator",
+    "DirectedSequence", "IntegrityStimulus",
+    "HeMonitor", "Monitor", "OutputParityMonitor", "Testbench", "Violation",
+    "CheckpointCoverage", "ToggleCoverage", "ToggleStats",
+    "SimCampaignReport", "SimModuleResult", "SimulationCampaign",
+]

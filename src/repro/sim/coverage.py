@@ -1,0 +1,95 @@
+"""Coverage collection for simulation campaigns.
+
+Two classic measures motivate the paper's move to formal methods:
+
+- **checkpoint coverage** — how many of the design's integrity
+  checkpoints were ever *exercised* (their guarding condition observed)
+  during simulation; the chip had >1300 checkpoints, far too many to
+  cover exhaustively by simulation;
+- **toggle coverage** — per-bit 0->1 / 1->0 activity, the coarse
+  structural measure showing how little of the value space random
+  simulation visits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..rtl.signals import mask
+
+
+@dataclass
+class ToggleStats:
+    """Per-signal toggle counters."""
+
+    rose: int = 0
+    fell: int = 0
+
+    @property
+    def toggled(self) -> bool:
+        return self.rose > 0 and self.fell > 0
+
+
+class ToggleCoverage:
+    """Tracks per-bit toggle activity across cycles."""
+
+    def __init__(self) -> None:
+        self._last: Dict[Tuple[str, int], int] = {}
+        self._stats: Dict[Tuple[str, int], ToggleStats] = {}
+
+    def sample(self, values: Mapping[str, int],
+               widths: Mapping[str, int]) -> None:
+        for name, value in values.items():
+            width = widths.get(name, 1)
+            for bit in range(width):
+                key = (name, bit)
+                current = (value >> bit) & 1
+                previous = self._last.get(key)
+                if previous is not None and previous != current:
+                    stats = self._stats.setdefault(key, ToggleStats())
+                    if current:
+                        stats.rose += 1
+                    else:
+                        stats.fell += 1
+                self._last[key] = current
+
+    def ratio(self) -> float:
+        """Fraction of observed bits that fully toggled (both edges)."""
+        if not self._last:
+            return 0.0
+        toggled = sum(
+            1 for key in self._last
+            if self._stats.get(key, ToggleStats()).toggled
+        )
+        return toggled / len(self._last)
+
+
+class CheckpointCoverage:
+    """Tracks which integrity checkpoints were exercised.
+
+    A checkpoint counts as *exercised* when simulation ever observed the
+    value category the check guards against being possible — here
+    approximated by the checkpoint's word changing value at least once
+    (data actually flowed through the check).
+    """
+
+    def __init__(self, checkpoints: Iterable[str]) -> None:
+        self._seen_values: Dict[str, set] = {name: set() for name in checkpoints}
+
+    def sample(self, values: Mapping[str, int]) -> None:
+        for name, seen in self._seen_values.items():
+            if name in values:
+                seen.add(values[name])
+
+    def exercised(self, minimum_values: int = 2) -> Dict[str, bool]:
+        return {
+            name: len(seen) >= minimum_values
+            for name, seen in self._seen_values.items()
+        }
+
+    def ratio(self, minimum_values: int = 2) -> float:
+        if not self._seen_values:
+            return 0.0
+        flags = self.exercised(minimum_values)
+        return sum(flags.values()) / len(flags)

@@ -1,0 +1,115 @@
+"""Cycle-accurate two-valued logic simulator.
+
+Simulates a :class:`~repro.rtl.elaborate.FlatDesign` at the word level:
+each cycle, primary-input values are applied, every output and register
+next-state function is evaluated with a shared memo, and then all
+registers update simultaneously (synchronous semantics).
+
+This simulator is the substrate for the paper's *baseline*: conventional
+logic-simulation validation, against which the formal methodology is
+compared in Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..rtl.elaborate import FlatDesign
+from ..rtl.signals import Expr, Reg, evaluate, mask
+
+
+class SimulationError(RuntimeError):
+    """Raised for stimulus/driver errors during simulation."""
+
+
+class Simulator:
+    """Simulates one flat design.
+
+    Usage::
+
+        sim = Simulator(design)
+        sim.reset()
+        outs = sim.step({"I": 0x1ff})
+        value = sim.peek("cs")
+    """
+
+    def __init__(self, design: FlatDesign) -> None:
+        self.design = design
+        self.state: Dict[Reg, int] = {}
+        self.cycle = 0
+        self._last_outputs: Dict[str, int] = {}
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Apply synchronous reset: all registers to their reset values."""
+        self.state = {reg: reg.reset for reg in self.design.regs}
+        self.cycle = 0
+        self._last_outputs = {}
+
+    def step(self, inputs: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Advance one clock cycle.
+
+        ``inputs`` maps input port names to values; unspecified ports
+        default to zero.  Returns the output values observed *during*
+        this cycle (before the register update).
+        """
+        env: Dict[Expr, int] = {}
+        given = dict(inputs or {})
+        for name, port in self.design.inputs.items():
+            value = given.pop(name, 0)
+            if value < 0 or value > mask(port.width):
+                raise SimulationError(
+                    f"input {name!r}: value {value:#x} does not fit in "
+                    f"{port.width} bits"
+                )
+            env[port] = value
+        if given:
+            raise SimulationError(f"unknown input port(s): {sorted(given)}")
+        env.update(self.state)
+
+        memo: Dict[int, int] = {}
+        outputs = {
+            name: evaluate(expr, env, memo)
+            for name, expr in self.design.outputs.items()
+        }
+        next_state = {
+            reg: evaluate(reg.next, env, memo) for reg in self.design.regs
+        }
+        self.state = next_state
+        self.cycle += 1
+        self._last_outputs = outputs
+        return outputs
+
+    # ------------------------------------------------------------------
+    def peek(self, name: str) -> int:
+        """Current value of a register (by flat name) or the output value
+        from the most recent :meth:`step`."""
+        for reg, value in self.state.items():
+            if reg.name == name:
+                return value
+        if name in self._last_outputs:
+            return self._last_outputs[name]
+        raise KeyError(f"no register or sampled output named {name!r}")
+
+    def poke(self, name: str, value: int) -> None:
+        """Force a register to a value (deposits between cycles; used by
+        fault-injection experiments)."""
+        for reg in self.state:
+            if reg.name == name:
+                if value < 0 or value > mask(reg.width):
+                    raise SimulationError(
+                        f"poke {name!r}: {value:#x} does not fit in "
+                        f"{reg.width} bits"
+                    )
+                self.state[reg] = value
+                return
+        raise KeyError(f"no register named {name!r}")
+
+    def run(self, stimulus: Iterable[Mapping[str, int]]) -> List[Dict[str, int]]:
+        """Run a stimulus sequence; returns the per-cycle output records."""
+        return [self.step(vector) for vector in stimulus]
+
+    def state_by_name(self) -> Dict[str, int]:
+        """Snapshot of all register values keyed by flat register name."""
+        return {reg.name: value for reg, value in self.state.items()}

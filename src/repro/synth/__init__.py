@@ -1,0 +1,21 @@
+"""Synthesis/implementation model: cell library, gate-level lowering,
+area accounting and static timing analysis for the Table 4 study."""
+
+from .cells import (
+    CLOCK_PERIOD_PS, Cell, DFF_CLK_TO_Q, DFF_SETUP, LIBRARY, cell,
+)
+from .lower import Gate, GateNetlist, lower
+from .area import AreaIncrease, AreaReport, area_increase
+from .timing import (
+    SelectorImpact, TimingReport, analyse_module, analyse_netlist,
+    arrival_times, selector_impact,
+)
+
+__all__ = [
+    "CLOCK_PERIOD_PS", "Cell", "DFF_CLK_TO_Q", "DFF_SETUP", "LIBRARY",
+    "cell",
+    "Gate", "GateNetlist", "lower",
+    "AreaIncrease", "AreaReport", "area_increase",
+    "SelectorImpact", "TimingReport", "analyse_module", "analyse_netlist",
+    "arrival_times", "selector_impact",
+]

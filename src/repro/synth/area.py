@@ -1,0 +1,75 @@
+"""Area accounting — the Table 4 design-impact study.
+
+The paper synthesised several modules with and without the
+error-injection feature and found the area increase below 2%.  The
+increase comes from the selector (MUX2) inserted in front of every
+protected register plus the injection ports' fanout buffering; here it
+is measured by lowering both module variants to the cell library and
+comparing gate-equivalent totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..rtl.elaborate import elaborate
+from ..rtl.module import Module
+from .cells import LIBRARY
+from .lower import GateNetlist, lower
+
+
+@dataclass
+class AreaReport:
+    """Cell counts and gate-equivalent area of one design."""
+
+    design_name: str
+    cell_counts: Dict[str, int]
+    gate_equivalents: float
+
+    @classmethod
+    def of_netlist(cls, name: str, net: GateNetlist) -> "AreaReport":
+        counts = {
+            cell: count for cell, count in net.counts().items()
+            if cell in LIBRARY
+        }
+        total = sum(LIBRARY[cell].area * count
+                    for cell, count in counts.items())
+        return cls(name, counts, total)
+
+    @classmethod
+    def of_module(cls, module: Module) -> "AreaReport":
+        return cls.of_netlist(module.name, lower(elaborate(module)))
+
+
+@dataclass
+class AreaIncrease:
+    """Table 4 row: design impact of the error-injection feature."""
+
+    module_name: str
+    base: AreaReport
+    verifiable: AreaReport
+
+    @property
+    def absolute(self) -> float:
+        return self.verifiable.gate_equivalents - self.base.gate_equivalents
+
+    @property
+    def percent(self) -> float:
+        if self.base.gate_equivalents == 0:
+            return 0.0
+        return 100.0 * self.absolute / self.base.gate_equivalents
+
+    @property
+    def added_muxes(self) -> int:
+        return (self.verifiable.cell_counts.get("MUX2", 0)
+                - self.base.cell_counts.get("MUX2", 0))
+
+
+def area_increase(base: Module, verifiable: Module) -> AreaIncrease:
+    """Measure the injection feature's cost on one module."""
+    return AreaIncrease(
+        module_name=base.name,
+        base=AreaReport.of_module(base),
+        verifiable=AreaReport.of_module(verifiable),
+    )

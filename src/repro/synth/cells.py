@@ -1,0 +1,46 @@
+"""Standard-cell library model.
+
+A small cell library representative of the paper's 0.11 µm CMOS ASIC
+process.  Areas are in gate equivalents (GE, NAND2 = 1.0) and delays in
+picoseconds.  The absolute values are generic textbook numbers for a
+~0.11 µm standard-cell library; Table 4 and the selector-delay analysis
+only rely on *relative* quantities (percent area increase, mux delay as
+a fraction of the 4 ns cycle at 250 MHz), which these values preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell."""
+
+    name: str
+    area: float      # gate equivalents
+    delay: float     # pin-to-pin worst-case delay, ps
+    inputs: int
+
+
+#: the library; MUX2's ~200 ps is the "selector" the paper measures
+LIBRARY: Dict[str, Cell] = {
+    "INV":  Cell("INV",  area=0.5,  delay=45.0,  inputs=1),
+    "AND2": Cell("AND2", area=1.25, delay=75.0,  inputs=2),
+    "OR2":  Cell("OR2",  area=1.25, delay=75.0,  inputs=2),
+    "XOR2": Cell("XOR2", area=2.5,  delay=120.0, inputs=2),
+    "MUX2": Cell("MUX2", area=2.75, delay=200.0, inputs=3),
+    "DFF":  Cell("DFF",  area=5.5,  delay=180.0, inputs=1),  # clk->Q
+}
+
+#: sequencing overheads used by static timing analysis (ps)
+DFF_SETUP = 120.0
+DFF_CLK_TO_Q = LIBRARY["DFF"].delay
+
+#: the chip's core clock: 250 MHz -> 4 ns cycle (Table 1)
+CLOCK_PERIOD_PS = 4000.0
+
+
+def cell(name: str) -> Cell:
+    return LIBRARY[name]

@@ -1,0 +1,189 @@
+"""Gate-level lowering of a flat design.
+
+Maps the word-level expression IR onto the cell library: elementwise
+logic becomes per-bit gates, arithmetic becomes ripple structures,
+reductions become balanced trees, and every register bit becomes a DFF.
+The result is a :class:`GateNetlist` suitable for area accounting and
+static timing analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..rtl.elaborate import FlatDesign
+from ..rtl.signals import Const, Expr, Input, Op, Reg
+
+CONST0 = 0
+CONST1 = 1
+
+
+@dataclass
+class Gate:
+    """One gate instance (or special node: PI / DFF output / constant)."""
+
+    cell: str                 # library cell name, or 'PI' / 'DFF' / 'CONST'
+    fanins: Tuple[int, ...]
+    name: str = ""
+
+
+@dataclass
+class GateNetlist:
+    """Bit-level mapped netlist."""
+
+    gates: List[Gate] = field(default_factory=list)
+    dff_d: Dict[int, int] = field(default_factory=dict)   # DFF id -> D id
+    primary_outputs: List[int] = field(default_factory=list)
+
+    def add(self, cell: str, *fanins: int, name: str = "") -> int:
+        self.gates.append(Gate(cell, tuple(fanins), name))
+        return len(self.gates) - 1
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for gate in self.gates:
+            tally[gate.cell] = tally.get(gate.cell, 0) + 1
+        return tally
+
+    def num_cells(self) -> int:
+        return sum(1 for g in self.gates
+                   if g.cell not in ("PI", "CONST"))
+
+
+class _Lowerer:
+    def __init__(self, design: FlatDesign) -> None:
+        self.design = design
+        self.net = GateNetlist()
+        self._memo: Dict[int, List[int]] = {}
+        self._const0 = self.net.add("CONST", name="const0")
+        self._const1 = self.net.add("CONST", name="const1")
+
+    def run(self) -> GateNetlist:
+        net = self.net
+        dff_bits: Dict[str, List[int]] = {}
+        for name, port in self.design.inputs.items():
+            self._memo[id(port)] = [
+                net.add("PI", name=f"{name}[{i}]") for i in range(port.width)
+            ]
+        for reg in self.design.regs:
+            bits = [net.add("DFF", name=f"{reg.name}[{i}]")
+                    for i in range(reg.width)]
+            dff_bits[reg.name] = bits
+            self._memo[id(reg)] = bits
+        for reg in self.design.regs:
+            next_bits = self.lower(reg.next)
+            for q, d in zip(dff_bits[reg.name], next_bits):
+                net.dff_d[q] = d
+        for name, expr in self.design.outputs.items():
+            net.primary_outputs.extend(self.lower(expr))
+        return net
+
+    # ------------------------------------------------------------------
+    def lower(self, expr: Expr) -> List[int]:
+        stack = [expr]
+        memo = self._memo
+        while stack:
+            node = stack[-1]
+            if id(node) in memo:
+                stack.pop()
+                continue
+            if isinstance(node, Const):
+                memo[id(node)] = [
+                    self._const1 if (node.value >> i) & 1 else self._const0
+                    for i in range(node.width)
+                ]
+                stack.pop()
+                continue
+            assert isinstance(node, Op), f"unlowerable leaf {node!r}"
+            pending = [op for op in node.operands if id(op) not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            operands = [memo[id(op)] for op in node.operands]
+            memo[id(node)] = self._lower_op(node, operands)
+            stack.pop()
+        return memo[id(expr)]
+
+    def _lower_op(self, node: Op, ops: List[List[int]]) -> List[int]:
+        net = self.net
+        kind = node.kind
+        if kind == "NOT":
+            return [net.add("INV", bit) for bit in ops[0]]
+        if kind in ("AND", "OR", "XOR"):
+            cell = {"AND": "AND2", "OR": "OR2", "XOR": "XOR2"}[kind]
+            return [net.add(cell, a, b) for a, b in zip(ops[0], ops[1])]
+        if kind == "MUX":
+            sel = ops[0][0]
+            return [net.add("MUX2", sel, t, f)
+                    for t, f in zip(ops[1], ops[2])]
+        if kind in ("ADD", "SUB"):
+            return self._ripple(ops[0], ops[1], subtract=(kind == "SUB"))
+        if kind == "EQ":
+            xnors = [net.add("INV", net.add("XOR2", a, b))
+                     for a, b in zip(ops[0], ops[1])]
+            return [self._tree("AND2", xnors)]
+        if kind == "LT":
+            return [self._less_than(ops[0], ops[1])]
+        if kind == "CONCAT":
+            bits: List[int] = []
+            for part in reversed(ops):
+                bits.extend(part)
+            return bits
+        if kind == "SLICE":
+            lo = node.param
+            return ops[0][lo:lo + node.width]
+        if kind == "REDXOR":
+            return [self._tree("XOR2", ops[0])]
+        if kind == "REDOR":
+            return [self._tree("OR2", ops[0])]
+        if kind == "REDAND":
+            return [self._tree("AND2", ops[0])]
+        raise AssertionError(f"unhandled op {kind}")
+
+    def _tree(self, cell: str, bits: List[int]) -> int:
+        """Balanced reduction tree."""
+        net = self.net
+        level = list(bits)
+        if not level:
+            raise ValueError("empty reduction")
+        while len(level) > 1:
+            paired: List[int] = []
+            for index in range(0, len(level) - 1, 2):
+                paired.append(net.add(cell, level[index], level[index + 1]))
+            if len(level) & 1:
+                paired.append(level[-1])
+            level = paired
+        return level[0]
+
+    def _ripple(self, a: List[int], b: List[int], subtract: bool) -> List[int]:
+        net = self.net
+        if subtract:
+            b = [net.add("INV", bit) for bit in b]
+            carry = self._const1
+        else:
+            carry = self._const0
+        out: List[int] = []
+        for bit_a, bit_b in zip(a, b):
+            axb = net.add("XOR2", bit_a, bit_b)
+            out.append(net.add("XOR2", axb, carry))
+            carry = net.add(
+                "OR2",
+                net.add("AND2", bit_a, bit_b),
+                net.add("AND2", axb, carry),
+            )
+        return out
+
+    def _less_than(self, a: List[int], b: List[int]) -> int:
+        net = self.net
+        lt = self._const0
+        for bit_a, bit_b in zip(a, b):
+            eq = net.add("INV", net.add("XOR2", bit_a, bit_b))
+            here = net.add("AND2", net.add("INV", bit_a), bit_b)
+            lt = net.add("OR2", here, net.add("AND2", eq, lt))
+        return lt
+
+
+def lower(design: FlatDesign) -> GateNetlist:
+    """Lower a flat design to the cell library."""
+    return _Lowerer(design).run()

@@ -1,0 +1,25 @@
+"""Shared fixtures: representative modules and budgets."""
+
+import pytest
+
+from repro.chip.library import canonical_leaf
+from repro.formal.budget import ResourceBudget
+from repro.rtl.inject import make_verifiable
+
+
+@pytest.fixture
+def leaf():
+    """The Figure 1 canonical leaf (base, no injection ports)."""
+    return canonical_leaf()
+
+
+@pytest.fixture
+def verifiable_leaf():
+    """The Figure 1 canonical leaf in Verifiable RTL form."""
+    return make_verifiable(canonical_leaf())
+
+
+@pytest.fixture
+def budget():
+    """A generous but finite budget so a broken engine cannot hang."""
+    return ResourceBudget(sat_conflicts=500_000, bdd_nodes=5_000_000)

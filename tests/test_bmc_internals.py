@@ -1,0 +1,79 @@
+"""Unroller and BMC internals: frame linkage, constraint timing,
+minimal-depth search."""
+
+import pytest
+
+from repro.formal.bmc import BmcResult, Unroller, bmc
+from repro.formal.budget import ResourceBudget
+from repro.formal.sat import Solver
+from repro.psl.compile import compile_assertion
+from repro.psl.parser import parse_vunit
+from repro.rtl.module import Module
+from repro.rtl.signals import const, mux
+
+
+def toggle_problem():
+    """A toggler: BAD exactly on odd cycles unless frozen."""
+    m = Module("t")
+    freeze = m.input("FRZ", 1)
+    r = m.reg("r", 1, reset=0)
+    r.next = mux(freeze, r, ~r)
+    m.output("BAD", r)
+    unit = parse_vunit(
+        "vunit v (t) { property p = never ( BAD ); assert p; }"
+    )
+    return compile_assertion(m, unit, "p")
+
+
+class TestUnroller:
+    def test_frame_zero_pins_init(self):
+        ts = toggle_problem()
+        solver = Solver()
+        unroller = Unroller(ts, solver, constrain_init=True)
+        bad0 = unroller.bad_at(0)
+        # initial state is r=0, so BAD cannot hold at frame 0
+        assert solver.solve([bad0]) is False
+
+    def test_free_init_leaves_frame_zero_open(self):
+        ts = toggle_problem()
+        solver = Solver()
+        unroller = Unroller(ts, solver, constrain_init=False)
+        assert solver.solve([unroller.bad_at(0)]) is True
+
+    def test_latch_linkage_across_frames(self):
+        ts = toggle_problem()
+        solver = Solver()
+        unroller = Unroller(ts, solver, constrain_init=True)
+        bad1 = unroller.bad_at(1)
+        frz0 = unroller.frame(0).lit(ts.inputs[0])
+        # with freeze low the toggler must be 1 at frame 1
+        assert solver.solve([bad1 ^ 1, frz0 ^ 1]) is False
+        # with freeze high it stays 0
+        assert solver.solve([bad1, frz0]) is False
+
+    def test_extract_inputs_covers_all_frames(self):
+        ts = toggle_problem()
+        solver = Solver()
+        unroller = Unroller(ts, solver, constrain_init=True)
+        assert solver.solve([unroller.bad_at(1)])
+        frames = unroller.extract_inputs(1)
+        assert len(frames) == 2
+        assert all(ts.inputs[0] in frame for frame in frames)
+
+
+class TestBmcSearch:
+    def test_finds_minimal_depth(self):
+        result = bmc(toggle_problem(), max_bound=6)
+        assert result.failed and result.bound == 1
+        assert result.trace.length == 2
+        assert result.trace.replay()
+
+    def test_start_bound_skips_shallow(self):
+        result = bmc(toggle_problem(), max_bound=8, start_bound=4)
+        assert result.failed
+        assert result.bound >= 4
+        assert result.trace.replay()
+
+    def test_repr(self):
+        result = bmc(toggle_problem(), max_bound=3)
+        assert "FAIL" in repr(result)

@@ -1,0 +1,122 @@
+"""Formal and simulation campaigns on chip subsets (the full-chip runs
+live in the benchmark harness)."""
+
+import pytest
+
+from repro.chip import ComponentChip, DEFECTS, DEFECTS_BY_ID
+from repro.core.bugs import classify_findings
+from repro.core.campaign import FormalCampaign
+from repro.core.report import (
+    format_status_summary, format_table2, format_table3, render_table,
+)
+from repro.core.stereotypes import stereotype_vunits
+from repro.formal.budget import ResourceBudget
+from repro.formal.engine import FAIL, PASS
+from repro.psl.compile import compile_assertion
+from repro.sim.campaign import SimulationCampaign
+
+
+def _budget():
+    return ResourceBudget(sat_conflicts=500_000, bdd_nodes=5_000_000)
+
+
+@pytest.fixture(scope="module")
+def block_c_report():
+    """Golden block C campaign (small: 101 properties)."""
+    chip = ComponentChip(only_blocks=["C"])
+    campaign = FormalCampaign(chip.blocks, budget_factory=_budget)
+    return campaign.run()
+
+
+class TestFormalCampaign:
+    def test_golden_block_all_pass(self, block_c_report):
+        assert block_c_report.all_passed
+        assert block_c_report.total_properties == 101
+        summary = block_c_report.blocks["C"]
+        assert summary.submodules == 13
+        assert (summary.p0, summary.p1, summary.p2, summary.p3) == \
+            (43, 20, 38, 0)
+        assert summary.bugs == 0
+
+    def test_lint_runs_clean(self, block_c_report):
+        assert block_c_report.lint_issues == []
+
+    def test_defective_block_flags_bug(self):
+        chip = ComponentChip(defects={"B2"}, only_blocks=["C"])
+        campaign = FormalCampaign(chip.blocks, budget_factory=_budget)
+        report = campaign.run()
+        assert not report.all_passed
+        assert report.blocks["C"].bugs == 1
+        failures = report.failures_by_module()
+        assert set(failures) == {"C00_fsmctl"}
+        assert all(r.category == "P1" for r in failures["C00_fsmctl"])
+        for record in failures["C00_fsmctl"]:
+            assert record.result.trace is not None
+            assert record.result.trace.replay()
+
+    def test_report_rendering(self, block_c_report):
+        table = format_table2(block_c_report)
+        assert "Module Name" in table and "Total" in table
+        assert "P0: Ability of Error Detection" in table
+        summary = format_status_summary(block_c_report)
+        assert "101" in summary and "passed" in summary
+
+
+class TestSimulationCampaign:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        chip = ComponentChip.with_all_defects()
+        defective = [chip.module_named(d.module_name) for d in DEFECTS]
+
+        sim = SimulationCampaign(defective, cycles_per_module=2000,
+                                 seed=2004)
+        sim_report = sim.run()
+        sim_found = {
+            r.module_name: r.first_violation_cycle
+            for r in sim_report.results if r.found_bug
+        }
+
+        formal_failures = {}
+        for module in defective:
+            fails = []
+            for unit in stereotype_vunits(module):
+                for assert_name, _ in unit.asserted():
+                    ts = compile_assertion(module, unit, assert_name)
+                    from repro.formal.engine import ModelChecker
+                    result = ModelChecker(ts, _budget()).check()
+                    if result.status == FAIL:
+                        fails.append(type("R", (), {
+                            "qualified_name":
+                                f"{unit.name}.{assert_name}",
+                            "result": result,
+                        })())
+            if fails:
+                formal_failures[module.name] = fails
+        return classify_findings(DEFECTS, formal_failures, sim_found)
+
+    def test_formal_finds_all_seven(self, findings):
+        assert all(f.found_by_formal for f in findings)
+
+    def test_simulation_split_matches_paper(self, findings):
+        """Table 3: B0/B2/B4 easy for simulation, B1/B3/B5/B6 not."""
+        for finding in findings:
+            assert finding.found_by_simulation == finding.defect.sim_easy, \
+                finding.defect.defect_id
+            assert finding.matches_paper
+
+    def test_table3_rendering(self, findings):
+        table = format_table3(findings)
+        assert "B3" in table and "Ability of Error Detection" in table
+        # the measured columns agree with the paper column
+        for line in table.splitlines()[2:]:
+            cells = line.split("  ")
+            cells = [c.strip() for c in cells if c.strip()]
+            assert cells[-3] == cells[-2]   # paper vs measured sim
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[:2])

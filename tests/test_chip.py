@@ -1,0 +1,132 @@
+"""The synthetic chip: Table 2 statistics, lint cleanliness, defects."""
+
+import pytest
+
+from repro.chip import (
+    ALL_DEFECT_IDS, DEFECTS, ComponentChip, TABLE2_BUGS, TABLE2_TARGETS,
+    TOTAL_CHECKPOINTS, TOTAL_PROPERTIES, TOTAL_SUBMODULES,
+    defects_in_blocks,
+)
+from repro.core.checkpoints import count_checkpoints
+from repro.core.leaf import classify
+from repro.core.stereotypes import count_by_category, stereotype_vunits
+from repro.rtl.lint import lint_verifiable
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return ComponentChip.golden()
+
+
+class TestTable2Statistics:
+    def test_block_structure(self, golden):
+        assert [name for name, _ in golden.blocks] == list("ABCDE")
+        for name, modules in golden.blocks:
+            assert len(modules) == TABLE2_TARGETS[name][0]
+        assert len(golden.leaf_modules()) == TOTAL_SUBMODULES
+
+    def test_property_counts_per_block(self, golden):
+        for name, modules in golden.blocks:
+            _, p0, p1, p2, p3 = TABLE2_TARGETS[name]
+            got = [0, 0, 0, 0]
+            for module in modules:
+                counts = count_by_category(stereotype_vunits(module))
+                got[0] += counts["P0"]
+                got[1] += counts["P1"]
+                got[2] += counts["P2"]
+                got[3] += counts["P3"]
+            assert got == [p0, p1, p2, p3], f"block {name}"
+
+    def test_grand_total_2047(self, golden):
+        total = sum(
+            count_by_category(stereotype_vunits(m))["total"]
+            for m in golden.leaf_modules()
+        )
+        assert total == TOTAL_PROPERTIES
+
+    def test_checkpoint_count_matches_paper(self, golden):
+        """'more than 1300 checkpoints' — exactly the P0 population."""
+        assert count_checkpoints(golden.leaf_modules()) == \
+            TOTAL_CHECKPOINTS
+
+    def test_bug_budget_per_block(self):
+        assert defects_in_blocks() == {
+            block: count for block, count in TABLE2_BUGS.items()
+            if count
+        }
+
+
+class TestChipHygiene:
+    def test_every_leaf_in_formal_scope(self, golden):
+        for module in golden.leaf_modules():
+            entry = classify(module)
+            assert entry.in_scope, (module.name, entry.reason)
+
+    def test_lint_clean(self, golden):
+        for module in golden.leaf_modules():
+            assert lint_verifiable(module) == [], module.name
+
+    def test_unique_module_names(self, golden):
+        names = [m.name for m in golden.leaf_modules()]
+        assert len(names) == len(set(names))
+
+    def test_specs_consistent(self, golden):
+        for module in golden.leaf_modules():
+            assert module.integrity.validate_against(module) == []
+
+    def test_block_lookup(self, golden):
+        assert golden.block_of("E00_dec") == "E"
+        assert golden.module_named("A00_wrapcnt").name == "A00_wrapcnt"
+        with pytest.raises(KeyError):
+            golden.module_named("Z99")
+        with pytest.raises(KeyError):
+            golden.block_of("Z99")
+
+    def test_silicon_hierarchy_ties_off_injection(self, golden):
+        from repro.rtl.lint import lint_wrapper
+        wrappers = golden.silicon_hierarchy()
+        assert len(wrappers) == TOTAL_SUBMODULES
+        for wrapper in wrappers[:10]:
+            assert lint_wrapper(wrapper) == []
+
+
+class TestDefectSeeding:
+    def test_unknown_defect_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentChip(defects={"B9"})
+
+    def test_defect_tags(self):
+        chip = ComponentChip.with_all_defects()
+        tagged = {
+            m.attrs["defect"]: m.name
+            for m in chip.leaf_modules() if "defect" in m.attrs
+        }
+        assert set(tagged) == ALL_DEFECT_IDS
+        for defect in DEFECTS:
+            assert tagged[defect.defect_id] == defect.module_name
+
+    def test_golden_chip_has_no_tags(self, golden):
+        assert all("defect" not in m.attrs
+                   for m in golden.leaf_modules())
+
+    def test_partial_seeding(self):
+        chip = ComponentChip(defects={"B5"})
+        tagged = [m.name for m in chip.leaf_modules()
+                  if "defect" in m.attrs]
+        assert tagged == ["E00_dec"]
+
+    def test_defect_catalog_types_match_table3(self):
+        types = {d.defect_id: d.property_type for d in DEFECTS}
+        assert types == {
+            "B0": "P1", "B1": "P1", "B2": "P1", "B3": "P0",
+            "B4": "P2", "B5": "P2", "B6": "P2",
+        }
+        easy = {d.defect_id for d in DEFECTS if d.sim_easy}
+        assert easy == {"B0", "B2", "B4"}
+
+    def test_stats(self, golden):
+        stats = ComponentChip(only_blocks=["C"]).stats()
+        assert stats.leaf_modules == 13
+        assert stats.state_bits > 0
+        assert stats.gate_equivalents > 0
+        assert dict(stats.rows())["Core frequency"] == "250 MHz"

@@ -1,0 +1,125 @@
+"""Scoping, checkpoint enumeration, defect records."""
+
+import pytest
+
+from repro.chip.library import canonical_leaf
+from repro.core.bugs import BugFinding, Defect
+from repro.core.checkpoints import (
+    Checkpoint, count_checkpoints, detection_checkpoints,
+    enumerate_checkpoints,
+)
+from repro.core.leaf import classify, discover_leaves, formal_scope
+from repro.rtl.inject import make_verifiable
+from repro.rtl.integrity import IntegritySpec
+from repro.rtl.module import Module
+
+
+def structured_top():
+    leaf = make_verifiable(canonical_leaf())
+    top = Module("top")
+    inst = top.instantiate(leaf, "u0", **{
+        name: top.input(name, port.width)
+        for name, port in leaf.inputs.items()
+    })
+    top.output("HE", inst["HE"])
+    return top, leaf
+
+
+class TestScoping:
+    def test_leaf_with_checkpoints_in_scope(self):
+        module = make_verifiable(canonical_leaf())
+        entry = classify(module)
+        assert entry.in_scope
+
+    def test_structured_module_excluded(self):
+        top, _ = structured_top()
+        entry = classify(top)
+        assert not entry.in_scope and "structured" in entry.reason
+
+    def test_module_without_spec_excluded(self):
+        bare = Module("bare")
+        bare.output("Y", bare.input("A", 4))
+        entry = classify(bare)
+        assert not entry.in_scope and "no integrity" in entry.reason
+
+    def test_module_without_checkpoints_excluded(self):
+        empty = Module("glue")
+        empty.output("Y", empty.input("A", 4))
+        empty.integrity = IntegritySpec()
+        entry = classify(empty)
+        assert not entry.in_scope
+
+    def test_discover_and_scope(self):
+        top, leaf = structured_top()
+        leaves = discover_leaves(top)
+        assert leaves == [leaf]
+        entries = formal_scope([top, leaf])
+        assert entries[0].module is leaf and entries[0].in_scope
+        assert entries[1].module is top and not entries[1].in_scope
+
+
+class TestCheckpoints:
+    def test_enumeration(self):
+        module = make_verifiable(canonical_leaf())
+        points = enumerate_checkpoints(module)
+        kinds = [p.kind for p in points]
+        assert kinds.count("entity") == 2
+        assert kinds.count("input") == 1
+        assert kinds.count("output") == 1
+
+    def test_detection_population_matches_p0(self):
+        module = make_verifiable(canonical_leaf())
+        detection = detection_checkpoints([module])
+        assert len(detection) == module.integrity.count_p0() == 3
+        assert count_checkpoints([module]) == 3
+
+    def test_module_without_spec_contributes_nothing(self):
+        bare = Module("bare")
+        bare.output("Y", bare.input("A", 4))
+        assert enumerate_checkpoints(bare) == []
+
+
+class TestSpecAccounting:
+    def test_count_methods(self):
+        module = make_verifiable(canonical_leaf())
+        spec = module.integrity
+        assert spec.count_p0() == 3
+        assert spec.count_p1() == 1
+        assert spec.count_p2() == 1
+        assert spec.count_p3() == 0
+        assert spec.count_total() == 5
+        assert spec.has_checkpoints()
+
+    def test_entity_lookup(self):
+        module = make_verifiable(canonical_leaf())
+        assert module.integrity.entity("stateA").reg_name == "A"
+        with pytest.raises(KeyError):
+            module.integrity.entity("missing")
+
+    def test_validate_against_catches_mismatch(self):
+        module = make_verifiable(canonical_leaf())
+        from repro.rtl.integrity import ParityGroup
+        module.integrity.protected_inputs.append(ParityGroup("GHOST"))
+        problems = module.integrity.validate_against(module)
+        assert any("GHOST" in p for p in problems)
+
+
+class TestDefectRecords:
+    def test_paper_row(self):
+        defect = Defect("B5", "E", "E00_dec", "P2", False, "decoder")
+        row = defect.paper_row
+        assert row["Defect ID"] == "B5"
+        assert row["Type of Property"] == "Output Data Integrity"
+        assert row["Can be found by logic simulation easily?"] == "No"
+
+    def test_matches_paper_logic(self):
+        defect = Defect("B0", "A", "m", "P1", True, "")
+        good = BugFinding(defect, found_by_formal=True,
+                          found_by_simulation=True)
+        assert good.matches_paper
+        missed = BugFinding(defect, found_by_formal=True,
+                            found_by_simulation=False)
+        assert not missed.matches_paper
+        unfound = BugFinding(defect, found_by_formal=False,
+                             found_by_simulation=True)
+        assert not unfound.matches_paper

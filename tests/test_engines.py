@@ -1,0 +1,196 @@
+"""Formal engines: BMC, k-induction, BDD traversals and POBDD must
+agree with each other and with known ground truth."""
+
+import pytest
+
+from repro.formal.bmc import bmc
+from repro.formal.budget import BudgetExceeded, ResourceBudget
+from repro.formal.engine import FAIL, PASS, TIMEOUT, UNKNOWN, ModelChecker
+from repro.formal.induction import k_induction
+from repro.formal.pobdd import pobdd_reach
+from repro.formal.reachability import (
+    SymbolicModel, backward_reach, combined_reach, forward_reach,
+)
+from repro.formal.transition import TransitionSystem
+from repro.psl.compile import compile_assertion
+from repro.psl.parser import parse_vunit
+from repro.rtl.elaborate import elaborate
+from repro.rtl.module import Module
+from repro.rtl.netlist import bitblast
+from repro.rtl.signals import Const, const, mux
+
+ALL_METHODS = ["bmc", "kind", "bdd-forward", "bdd-backward",
+               "bdd-combined", "pobdd"]
+
+
+def counter_problem(bad_at, width=4, with_enable=True, assume_off=False):
+    """A counter that fails exactly when it reaches ``bad_at``."""
+    m = Module("cnt")
+    en = m.input("EN", 1)
+    r = m.reg("r", width, reset=0)
+    r.next = mux(en, r + 1, r) if with_enable else r + 1
+    m.output("BAD", r.eq(const(bad_at, width)))
+    source = f"""
+    vunit v (cnt) {{
+        property pOff = always ( ~EN );
+        {"assume pOff;" if assume_off else ""}
+        property pSafe = never ( BAD );
+        assert pSafe;
+    }}
+    """
+    unit = parse_vunit(source)
+    return compile_assertion(m, unit, "pSafe")
+
+
+class TestGroundTruth:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_reachable_bad_found(self, method, budget):
+        ts = counter_problem(bad_at=5)
+        result = ModelChecker(ts, budget).check(method=method, max_bound=20)
+        assert result.status == FAIL
+        assert result.trace is not None
+        assert result.trace.replay()
+        # minimal counterexample: five increments, violation visible in
+        # the cycle the counter holds 5
+        assert result.trace.length == 6
+
+    @pytest.mark.parametrize("method", ["kind", "bdd-forward",
+                                        "bdd-backward", "bdd-combined",
+                                        "pobdd"])
+    def test_unreachable_bad_proved(self, method, budget):
+        # 4-bit counter counts 0..15; 16 is not representable, so use a
+        # guard: bad when r == 12 but the constraint never enables
+        ts = counter_problem(bad_at=12, assume_off=True)
+        result = ModelChecker(ts, budget).check(method=method)
+        assert result.status == PASS
+
+    def test_bmc_is_bounded_only(self, budget):
+        ts = counter_problem(bad_at=12, assume_off=True)
+        result = ModelChecker(ts, budget).check(method="bmc", max_bound=6)
+        assert result.status == UNKNOWN
+
+    def test_bmc_depth_exact(self, budget):
+        ts = counter_problem(bad_at=3, with_enable=False)
+        result = bmc(ts, max_bound=10, budget=budget)
+        assert result.failed and result.bound == 3
+
+    def test_auto_method(self, budget):
+        ts = counter_problem(bad_at=12, assume_off=True)
+        result = ModelChecker(ts, budget).check(method="auto")
+        assert result.status == PASS and result.engine.startswith("auto:")
+
+    def test_unknown_method_rejected(self, budget):
+        ts = counter_problem(bad_at=3)
+        with pytest.raises(ValueError):
+            ModelChecker(ts, budget).check(method="quantum")
+
+
+class TestConstraintSemantics:
+    def test_constraint_applies_to_violating_cycle(self, budget):
+        """bad = EN must be unreachable under assume never EN, even
+        though bad depends on the same-cycle input."""
+        m = Module("m")
+        en = m.input("EN", 1)
+        r = m.reg("r", 1, reset=0)
+        r.next = r
+        m.output("BAD", en)
+        unit = parse_vunit("""
+        vunit v (m) {
+            property pOff = never ( EN );
+            assume pOff;
+            property pSafe = never ( BAD );
+            assert pSafe;
+        }
+        """)
+        ts = compile_assertion(m, unit, "pSafe")
+        for method in ALL_METHODS[1:]:
+            result = ModelChecker(ts, budget).check(method=method)
+            assert result.status == PASS, method
+
+    def test_next_assumption_constrains_pairs(self, budget):
+        """assume always(req -> next ack) makes 'req then no ack'
+        unreachable."""
+        m = Module("m")
+        req = m.input("REQ", 1)
+        ack = m.input("ACK", 1)
+        prev_req = m.reg("prev_req", 1, reset=0)
+        prev_req.next = req
+        m.output("BAD", prev_req & ~ack)
+        unit = parse_vunit("""
+        vunit v (m) {
+            property pProto = always ( REQ -> next ACK );
+            assume pProto;
+            property pSafe = never ( BAD );
+            assert pSafe;
+        }
+        """)
+        ts = compile_assertion(m, unit, "pSafe")
+        for method in ("kind", "bdd-forward", "bdd-combined"):
+            assert ModelChecker(ts, budget).check(method=method).status \
+                == PASS
+
+
+class TestResourceBudget:
+    def test_bdd_timeout_reported(self):
+        ts = counter_problem(bad_at=12, assume_off=True)
+        tight = ResourceBudget(bdd_nodes=50)
+        result = ModelChecker(ts, tight).check(method="bdd-forward")
+        assert result.status == TIMEOUT
+        assert result.stats["resource"] == "BDD node"
+
+    def test_sat_timeout_reported(self):
+        ts = counter_problem(bad_at=15, with_enable=False)
+        tight = ResourceBudget(sat_conflicts=0)
+        result = ModelChecker(ts, tight).check(method="kind")
+        # either it solves without conflicts or budget trips; with a
+        # 0-conflict budget deep BMC must trip
+        assert result.status in (TIMEOUT, FAIL)
+
+
+class TestCoiReduction:
+    def test_unrelated_state_stripped(self, budget):
+        m = Module("m")
+        en = m.input("EN", 1)
+        relevant = m.reg("rel", 2, reset=0)
+        relevant.next = relevant + 1
+        junk = m.reg("junk", 8, reset=0)
+        junk.next = junk ^ 0xFF
+        m.output("BAD", relevant.eq(Const(3, 2)))
+        unit = parse_vunit(
+            "vunit v (m) { property p = never ( BAD ); assert p; }"
+        )
+        ts = compile_assertion(m, unit, "p")
+        names = {ts.latch_name(lit) for lit in ts.latches}
+        assert all(name.startswith("rel") for name in names)
+        assert ts.size_stats()["latches"] == 2
+
+
+class TestTraces:
+    def test_words_by_frame(self, budget):
+        ts = counter_problem(bad_at=2, with_enable=False)
+        result = bmc(ts, 5, budget=budget)
+        words = result.trace.words_by_frame()
+        assert len(words) == 3
+        assert all("EN" in frame for frame in words)
+        assert "counterexample" in result.trace.format()
+
+    def test_replay_rejects_truncated_trace(self, budget):
+        ts = counter_problem(bad_at=4, with_enable=False)
+        result = bmc(ts, 8, budget=budget)
+        trace = result.trace
+        assert trace.replay()
+        trace.inputs_by_frame.append({})   # junk frame beyond violation
+        assert not trace.replay()
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("bad_at", [1, 4, 9])
+    def test_all_engines_agree_on_depth(self, bad_at, budget):
+        ts = counter_problem(bad_at=bad_at, with_enable=False)
+        depths = set()
+        for method in ALL_METHODS:
+            result = ModelChecker(ts, budget).check(method=method,
+                                                    max_bound=20)
+            assert result.status == FAIL, method
+            depths.add(result.trace.length)
+        assert depths == {bad_at + 1}

@@ -1,0 +1,93 @@
+"""Sequential equivalence checking (transform transparency, ECO
+regression)."""
+
+import pytest
+
+from repro.chip.library import canonical_leaf
+from repro.chip.specials import fsm_controller, register_file, wrap_counter
+from repro.formal.budget import ResourceBudget
+from repro.formal.engine import FAIL, PASS
+from repro.formal.equivalence import (
+    build_miter, check_equivalence, injection_transparent,
+)
+from repro.rtl.inject import make_verifiable
+from repro.rtl.module import Module, RtlError
+
+
+def _budget():
+    return ResourceBudget(sat_conflicts=500_000, bdd_nodes=5_000_000)
+
+
+class TestMiter:
+    def test_shared_inputs(self):
+        left = canonical_leaf("L")
+        right = canonical_leaf("R")
+        miter = build_miter(left, right)
+        assert set(miter.inputs) == {"I"}
+        assert "__miscompare__" in miter.outputs
+
+    def test_no_common_outputs_rejected(self):
+        a = Module("a")
+        a.output("X", a.input("I", 1))
+        b = Module("b")
+        b.output("Y", b.input("I", 1))
+        with pytest.raises(RtlError):
+            build_miter(a, b)
+
+    def test_width_mismatch_rejected(self):
+        a = Module("a")
+        a.output("X", a.input("I", 2))
+        b = Module("b")
+        b.output("X", b.input("I", 3))
+        with pytest.raises(RtlError):
+            build_miter(a, b)
+
+
+class TestEquivalence:
+    def test_module_equivalent_to_itself(self):
+        module = canonical_leaf()
+        result = check_equivalence(module, canonical_leaf(),
+                                   budget=_budget())
+        assert result.status == PASS
+
+    def test_injection_transparency_figure6(self):
+        """The Figure 6 claim, proved formally: EC/ED tied to zero makes
+        the Verifiable RTL indistinguishable from the release."""
+        base = canonical_leaf()
+        verifiable = make_verifiable(base)
+        result = injection_transparent(base, verifiable,
+                                       budget=_budget())
+        assert result.status == PASS
+
+    @pytest.mark.parametrize("builder", [wrap_counter, fsm_controller])
+    def test_defect_shows_as_inequivalence(self, builder):
+        """Each seeded defect makes the buggy module inequivalent to the
+        corrected one, with a concrete diverging trace."""
+        good = builder("M", buggy=False)
+        bad = builder("M", buggy=True)
+        result = check_equivalence(good, bad, budget=_budget())
+        assert result.status == FAIL
+        assert result.trace is not None and result.trace.replay()
+
+    def test_regfile_divergence_shows_arming_sequence(self):
+        good = register_file("RF", buggy=False)
+        bad = register_file("RF", buggy=True)
+        result = check_equivalence(good, bad, budget=_budget())
+        assert result.status == FAIL
+        words = result.trace.words_by_frame()
+        # the first write must be the arming write (address 0x3C)
+        assert words[0]["WADDR"] & 0xFF == 0x3C
+        assert words[0]["WEN"] == 1
+
+    def test_injection_not_transparent_without_tie_off(self):
+        """Sanity: without the tie-offs, injection is *visible* — the
+        checker can drive EC and corrupt state."""
+        base = canonical_leaf()
+        verifiable = make_verifiable(base)
+        result = check_equivalence(base, verifiable, budget=_budget())
+        assert result.status == FAIL
+
+    def test_requires_verifiable_rtl(self):
+        base = canonical_leaf()
+        with pytest.raises(RtlError):
+            injection_transparent(base, canonical_leaf())

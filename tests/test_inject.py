@@ -1,0 +1,136 @@
+"""The Verifiable-RTL transform (error injection) and its lint."""
+
+import pytest
+
+from repro.chip.library import canonical_leaf
+from repro.rtl.elaborate import elaborate
+from repro.rtl.inject import EC_PORT, ED_PORT, make_verifiable, make_wrapper
+from repro.rtl.lint import lint_verifiable, lint_wrapper
+from repro.rtl.module import Module, RtlError
+from repro.rtl.parity import encode_value, value_ok
+from repro.sim.simulator import Simulator
+
+
+class TestMakeVerifiable:
+    def test_ports_added(self, leaf, verifiable_leaf):
+        assert EC_PORT not in leaf.inputs
+        assert EC_PORT in verifiable_leaf.inputs
+        assert verifiable_leaf.inputs[EC_PORT].width == 2   # two entities
+        assert verifiable_leaf.inputs[ED_PORT].width == 9   # widest entity
+
+    def test_original_untouched(self, leaf):
+        before = len(leaf.inputs)
+        make_verifiable(leaf)
+        assert len(leaf.inputs) == before
+
+    def test_spec_updated(self, verifiable_leaf):
+        spec = verifiable_leaf.integrity
+        assert spec.ec_port == EC_PORT
+        assert spec.ed_port == ED_PORT
+        assert verifiable_leaf.attrs.get("verifiable") is True
+
+    def test_requires_spec_and_entities(self):
+        m = Module("m")
+        m.output("Y", m.input("A", 4))
+        with pytest.raises(RtlError):
+            make_verifiable(m)
+
+    def test_rejects_double_injection(self, verifiable_leaf):
+        with pytest.raises(RtlError):
+            make_verifiable(verifiable_leaf)
+
+    def test_behaviour_identical_with_injection_off(self, leaf,
+                                                    verifiable_leaf):
+        base_sim = Simulator(elaborate(leaf))
+        ver_sim = Simulator(elaborate(verifiable_leaf))
+        import random
+        rng = random.Random(11)
+        for _ in range(50):
+            value = rng.randrange(1 << 9)
+            base_out = base_sim.step({"I": value})
+            ver_out = ver_sim.step({"I": value, EC_PORT: 0, ED_PORT: 0})
+            assert base_out == ver_out
+
+    def test_injection_forces_register(self, verifiable_leaf):
+        sim = Simulator(elaborate(verifiable_leaf))
+        injected = 0b0110   # even parity -> illegal FSM word
+        sim.step({"I": encode_value(0, 8), EC_PORT: 0b01,
+                  ED_PORT: injected})
+        assert sim.peek("A") == injected
+        # HE reports the corruption in the following cycle
+        outs = sim.step({"I": encode_value(0, 8), EC_PORT: 0, ED_PORT: 0})
+        assert outs["HE"] == 1
+
+    def test_injection_is_per_entity(self, verifiable_leaf):
+        sim = Simulator(elaborate(verifiable_leaf))
+        good = encode_value(0x55, 8)
+        sim.step({"I": good, EC_PORT: 0b10, ED_PORT: 0x1FF})
+        # entity B (bit 1) was injected; FSM A keeps its reset value
+        assert sim.peek("B") == 0x1FF
+        assert value_ok(sim.peek("A"))
+
+
+class TestWrapper:
+    def test_ties_injection_to_zero(self, verifiable_leaf):
+        wrapper = make_wrapper(verifiable_leaf)
+        assert lint_wrapper(wrapper) == []
+        inst = wrapper.instances[0]
+        assert inst.bindings[EC_PORT].value == 0
+        assert inst.bindings[ED_PORT].value == 0
+
+    def test_reexports_ports(self, verifiable_leaf):
+        wrapper = make_wrapper(verifiable_leaf)
+        assert set(wrapper.inputs) == {"I"}
+        assert set(wrapper.outputs) == {"HE", "O"}
+
+    def test_wrapper_behaves_like_base(self, leaf, verifiable_leaf):
+        wrapper = make_wrapper(verifiable_leaf)
+        base_sim = Simulator(elaborate(leaf))
+        wrap_sim = Simulator(elaborate(wrapper))
+        import random
+        rng = random.Random(5)
+        for _ in range(50):
+            value = rng.randrange(1 << 9)
+            assert base_sim.step({"I": value}) == \
+                wrap_sim.step({"I": value})
+
+    def test_requires_verifiable_module(self, leaf):
+        with pytest.raises(RtlError):
+            make_wrapper(leaf)
+
+
+class TestLint:
+    def test_clean_module_passes(self, verifiable_leaf):
+        assert lint_verifiable(verifiable_leaf) == []
+
+    def test_missing_spec_flagged(self):
+        m = Module("m")
+        issues = lint_verifiable(m)
+        assert any(i.code == "VR4" for i in issues)
+
+    def test_missing_injection_ports_flagged(self, leaf):
+        issues = lint_verifiable(leaf)
+        assert any(i.code == "VR1" for i in issues)
+
+    def test_shared_ec_bit_flagged(self, leaf):
+        from repro.rtl.integrity import IntegritySpec, ProtectedEntity, FSM
+        verifiable = make_verifiable(leaf)
+        spec = verifiable.integrity
+        # claim both entities share EC bit 0
+        spec.entities[1] = ProtectedEntity(
+            spec.entities[1].name, spec.entities[1].reg_name,
+            spec.entities[1].kind, 0
+        )
+        issues = lint_verifiable(verifiable)
+        assert any(i.code == "VR2" for i in issues)
+
+    def test_untied_wrapper_flagged(self, verifiable_leaf):
+        wrapper = Module("bad_wrap")
+        bindings = {}
+        for name, port in verifiable_leaf.inputs.items():
+            bindings[name] = wrapper.input(name, port.width)
+        inst = wrapper.instantiate(verifiable_leaf, "u0", **bindings)
+        for name in verifiable_leaf.outputs:
+            wrapper.output(name, inst[name])
+        issues = lint_wrapper(wrapper)
+        assert any(i.code == "VR3" for i in issues)

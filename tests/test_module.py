@@ -1,0 +1,112 @@
+"""Module and hierarchy model."""
+
+import pytest
+
+from repro.rtl.module import Module, RtlError, iter_leaf_modules, iter_modules
+from repro.rtl.signals import Const, const
+
+
+def make_child():
+    child = Module("child")
+    a = child.input("A", 4)
+    r = child.reg("r", 4)
+    r.next = a
+    child.output("Y", r ^ 1)
+    return child
+
+
+class TestModule:
+    def test_duplicate_input_rejected(self):
+        m = Module("m")
+        m.input("A", 4)
+        with pytest.raises(RtlError):
+            m.input("A", 4)
+
+    def test_input_output_name_clash(self):
+        m = Module("m")
+        m.input("A", 4)
+        with pytest.raises(RtlError):
+            m.output("A", const(0, 4))
+
+    def test_duplicate_register_rejected(self):
+        m = Module("m")
+        m.reg("r", 4)
+        with pytest.raises(RtlError):
+            m.reg("r", 2)
+
+    def test_constant_output_needs_width(self):
+        m = Module("m")
+        with pytest.raises(RtlError):
+            m.output("Y", 3)
+        m.output("Z", 3, width=4)
+        assert m.outputs["Z"].value == 3
+
+    def test_signal_lookup(self):
+        m = make_child()
+        assert m.signal("A") is m.inputs["A"]
+        assert m.signal("Y") is m.outputs["Y"]
+        assert m.signal("r") is m.regs[0]
+        with pytest.raises(KeyError):
+            m.signal("nope")
+        assert set(m.signal_names()) == {"A", "Y", "r"}
+
+    def test_validate_catches_undriven_reg(self):
+        m = Module("m")
+        m.reg("r", 4)
+        with pytest.raises(RtlError):
+            m.validate()
+
+
+class TestInstance:
+    def test_binding_checks(self):
+        parent = Module("parent")
+        child = make_child()
+        with pytest.raises(RtlError):
+            parent.instantiate(child, "u0", NOPE=const(0, 4))
+        with pytest.raises(RtlError):
+            parent.instantiate(child, "u1", A=const(0, 5))
+
+    def test_unbound_input_caught_by_validate(self):
+        parent = Module("parent")
+        child = make_child()
+        inst = parent.instantiate(child, "u0")
+        parent.output("Y", inst["Y"])
+        with pytest.raises(RtlError):
+            parent.validate()
+
+    def test_instance_output_access(self):
+        parent = Module("parent")
+        child = make_child()
+        inst = parent.instantiate(child, "u0", A=parent.input("X", 4))
+        y = inst["Y"]
+        assert y.width == 4
+        assert inst["Y"] is y  # memoised
+        with pytest.raises(RtlError):
+            inst["NOPE"]
+
+    def test_leaf_classification(self):
+        child = make_child()
+        parent = Module("parent")
+        parent.instantiate(child, "u0", A=parent.input("X", 4))
+        assert child.is_leaf()
+        assert not parent.is_leaf()
+
+
+class TestIteration:
+    def test_iter_modules_leaves_first(self):
+        child = make_child()
+        mid = Module("mid")
+        mid.instantiate(child, "u0", A=mid.input("X", 4))
+        top = Module("top")
+        top.instantiate(mid, "m0", X=top.input("X", 4))
+        order = [m.name for m in iter_modules(top)]
+        assert order == ["child", "mid", "top"]
+
+    def test_shared_module_visited_once(self):
+        child = make_child()
+        top = Module("top")
+        x = top.input("X", 4)
+        top.instantiate(child, "u0", A=x)
+        top.instantiate(child, "u1", A=x)
+        assert [m.name for m in iter_modules(top)] == ["child", "top"]
+        assert [m.name for m in iter_leaf_modules(top)] == ["child"]

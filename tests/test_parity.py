@@ -1,0 +1,75 @@
+"""Odd-parity protection helpers (RTL and Python sides agree)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtl.parity import (
+    corrupt, data_bits, encode_value, odd_parity_bit, parity_bit, parity_ok,
+    protect, value_ok,
+)
+from repro.rtl.signals import Input, evaluate
+
+
+class TestPythonSide:
+    @given(st.integers(0, 255))
+    def test_encode_always_odd(self, value):
+        assert value_ok(encode_value(value, 8))
+
+    @given(st.integers(0, 255), st.integers(0, 8))
+    def test_corrupt_breaks_parity(self, value, bit):
+        word = encode_value(value, 8)
+        assert not value_ok(corrupt(word, bit))
+
+    @given(st.integers(0, 255), st.integers(0, 8), st.integers(0, 8))
+    def test_double_corrupt_is_undetectable(self, value, b1, b2):
+        """Parity detects all single-bit errors but no double-bit
+        errors: flipping two bits changes the population count by 0 or
+        2, leaving parity intact — the classic parity limitation."""
+        word = encode_value(value, 8)
+        twice = corrupt(corrupt(word, b1), b2)
+        assert value_ok(twice)
+        if b1 != b2:
+            assert twice != word    # corrupted data slips through
+
+    def test_encode_keeps_data(self):
+        word = encode_value(0xAB, 8)
+        assert word & 0xFF == 0xAB
+
+
+class TestRtlSide:
+    @given(st.integers(0, 255))
+    def test_protect_matches_encode(self, value):
+        data = Input("d", 8)
+        word = protect(data)
+        assert word.width == 9
+        assert evaluate(word, {data: value}) == encode_value(value, 8)
+
+    @given(st.integers(0, 511))
+    def test_parity_ok_matches_value_ok(self, word_value):
+        word = Input("w", 9)
+        assert bool(evaluate(parity_ok(word), {word: word_value})) == \
+            value_ok(word_value)
+
+    @given(st.integers(0, 255))
+    def test_round_trip(self, value):
+        data = Input("d", 8)
+        word = protect(data)
+        env = {data: value}
+        assert evaluate(data_bits(word), env) == value
+        assert evaluate(parity_bit(word), env) == \
+            (encode_value(value, 8) >> 8)
+
+    @given(st.integers(0, 255))
+    def test_parity_bit_definition(self, value):
+        data = Input("d", 8)
+        # odd parity: parity bit is the complement of the data XOR
+        assert evaluate(odd_parity_bit(data), {data: value}) == \
+            (bin(value).count("1") + 1) % 2
+
+    def test_parity_ok_subword(self):
+        word = Input("w", 16)
+        check = parity_ok(word, lsb=4, width=9)
+        # bits [12:4] carry the protected word
+        good = encode_value(0x3C, 8) << 4
+        assert evaluate(check, {word: good}) == 1
+        assert evaluate(check, {word: good ^ (1 << 7)}) == 0

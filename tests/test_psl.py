@@ -1,0 +1,245 @@
+"""PSL front-end: lexer/parser, emitter round-trip, and monitor
+compilation semantics (checked against simulation)."""
+
+import pytest
+
+from repro.psl.ast import (
+    Always, AndB, Implication, Literal, Name, Never, Next, NotB, OrB,
+    PslError, RedXor, VUnit, XorB,
+)
+from repro.psl.compile import compile_assertion
+from repro.psl.parser import parse_bool, parse_property, parse_vunit, parse_vunits
+from repro.rtl.elaborate import elaborate
+from repro.rtl.module import Module
+from repro.rtl.signals import evaluate
+
+
+class TestParser:
+    def test_paper_figure2(self):
+        """The M_edetect vunit of Figure 2, verbatim structure."""
+        unit = parse_vunit("""
+        vunit M_edetect (M) { // check error detection ability
+            property pCheck1 = always ((EC & ~(^ED)) -> next HE);
+            assert   pCheck1;  //   -- check it formally!
+            property pCheck2 = always ( ~(^I) -> next HE);
+            assert   pCheck2;  //   -- check it formally!
+        }
+        """)
+        assert unit.name == "M_edetect"
+        assert unit.module_name == "M"
+        assert unit.comment == "check error detection ability"
+        assert [name for name, _ in unit.asserted()] == ["pCheck1",
+                                                         "pCheck2"]
+        check1 = unit.property_named("pCheck1")
+        assert isinstance(check1, Always)
+        assert isinstance(check1.inner, Implication)
+        assert isinstance(check1.inner.consequent, Next)
+
+    def test_paper_figure3(self):
+        """The M_soundness vunit of Figure 3: assumes then assert."""
+        unit = parse_vunit("""
+        vunit M_soundness (M) { // soundness check
+            property pIntegrityI     = always ( ^I );
+            assume   pIntegrityI;
+            property pNoErrInjection = always ( ~EC );
+            assume   pNoErrInjection;
+            property pNoError        = never  ( HE );
+            assert   pNoError;
+        }
+        """)
+        assert len(unit.assumed()) == 2
+        assert len(unit.asserted()) == 1
+        assert isinstance(unit.property_named("pNoError"), Never)
+
+    def test_precedence(self):
+        expr = parse_bool("a | b & c")
+        assert isinstance(expr, OrB)
+        assert isinstance(expr.right, AndB)
+        expr = parse_bool("~a & b")
+        assert isinstance(expr, AndB)
+        assert isinstance(expr.left, NotB)
+
+    def test_prefix_vs_infix_xor(self):
+        reduction = parse_bool("^ED")
+        assert isinstance(reduction, RedXor)
+        binary = parse_bool("a ^ b")
+        assert isinstance(binary, XorB)
+        mixed = parse_bool("a ^ ^b")
+        assert isinstance(mixed, XorB)
+        assert isinstance(mixed.right, RedXor)
+
+    def test_selects(self):
+        bit = parse_bool("EC[3]")
+        assert bit == Name("EC", 3)
+        part = parse_bool("ED[7:0]")
+        assert part == Name("ED", 7, 0)
+
+    def test_bool_at_property_level_is_invariant(self):
+        prop = parse_property("^O")
+        assert isinstance(prop, Always)
+
+    def test_literals(self):
+        assert parse_bool("1") == Literal(1)
+
+    def test_errors(self):
+        with pytest.raises(PslError):
+            parse_vunit("vunit broken (M) { assert missing; }")
+        with pytest.raises(PslError):
+            parse_bool("a &")
+        with pytest.raises(PslError):
+            parse_bool("a $$ b")
+        with pytest.raises(PslError):
+            parse_vunit("vunit u (M) { property p = always (a); }junk")
+
+    def test_multiple_vunits(self):
+        units = parse_vunits("""
+        vunit u1 (M) { property p = always (a); assert p; }
+        vunit u2 (M) { property q = never (b); assert q; }
+        """)
+        assert [u.name for u in units] == ["u1", "u2"]
+
+
+class TestRoundTrip:
+    CASES = [
+        "always ((EC & ~(^ED)) -> next HE)",
+        "never ( HE )",
+        "always ( ^I )",
+        "always ( ~(^I) -> next HE )",
+        "always ( RDY -> ^M_DATA )",
+        "always ( a | b & ~c )",
+        "always ( EC[0] & ~(^ED[3:0]) -> next HE )",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_parse_emit_parse_fixpoint(self, source):
+        first = parse_property(source)
+        second = parse_property(first.emit())
+        assert first == second
+        assert second.emit() == first.emit()
+
+    def test_vunit_emit_round_trip(self):
+        unit = VUnit("M_soundness", "M", comment="soundness check")
+        unit.declare("pIntegrityI", Always(RedXor(Name("I"))))
+        unit.assume("pIntegrityI")
+        unit.declare("pNoError", Never(Name("HE")))
+        unit.assert_("pNoError")
+        text = unit.emit()
+        parsed = parse_vunit(text)
+        assert parsed.name == unit.name
+        assert parsed.directives == unit.directives
+        for decl in unit.declarations:
+            assert parsed.property_named(decl.name) == decl.prop
+
+
+class TestVUnitApi:
+    def test_duplicate_property_rejected(self):
+        unit = VUnit("u", "M")
+        unit.declare("p", Always(Name("a")))
+        with pytest.raises(PslError):
+            unit.declare("p", Never(Name("a")))
+
+    def test_directive_requires_declaration(self):
+        unit = VUnit("u", "M")
+        with pytest.raises(PslError):
+            unit.assert_("missing")
+
+
+def _monitored_design():
+    """req/ack module used to check monitor timing."""
+    m = Module("m")
+    req = m.input("REQ", 1)
+    ack = m.input("ACK", 1)
+    m.output("BOTH", req & ack)
+    return m
+
+
+class TestCompilation:
+    def test_always_bool_violation_is_immediate(self):
+        m = _monitored_design()
+        unit = parse_vunit(
+            "vunit u (m) { property p = always ( ~BOTH ); assert p; }"
+        )
+        ts = compile_assertion(m, unit, "p")
+        state = ts.initial_state()
+        _, bad, _ = ts.evaluate_step(state, _input_env(ts, REQ=1, ACK=1))
+        assert bad == 1
+        _, bad, _ = ts.evaluate_step(state, _input_env(ts, REQ=1, ACK=0))
+        assert bad == 0
+
+    def test_next_monitor_delays_obligation(self):
+        m = _monitored_design()
+        unit = parse_vunit(
+            "vunit u (m) { property p = always ( REQ -> next ACK ); "
+            "assert p; }"
+        )
+        ts = compile_assertion(m, unit, "p")
+        state = ts.initial_state()
+        # cycle 0: REQ with no ACK — obligation starts, no violation yet
+        state, bad, _ = ts.evaluate_step(state, _input_env(ts, REQ=1,
+                                                           ACK=0))
+        assert bad == 0
+        # cycle 1: ACK low — violation fires now
+        _, bad, _ = ts.evaluate_step(state, _input_env(ts, REQ=0, ACK=0))
+        assert bad == 1
+        # alternate world: ACK high — satisfied
+        _, bad, _ = ts.evaluate_step(state, _input_env(ts, REQ=0, ACK=1))
+        assert bad == 0
+
+    def test_assumes_form_constraint(self):
+        m = _monitored_design()
+        unit = parse_vunit("""
+        vunit u (m) {
+            property pNoReq = always ( ~REQ );
+            assume pNoReq;
+            property p = always ( ~BOTH );
+            assert p;
+        }
+        """)
+        ts = compile_assertion(m, unit, "p")
+        state = ts.initial_state()
+        _, _, cons = ts.evaluate_step(state, _input_env(ts, REQ=1, ACK=0))
+        assert cons == 0
+        _, _, cons = ts.evaluate_step(state, _input_env(ts, REQ=0, ACK=1))
+        assert cons == 1
+
+    def test_unknown_signal_rejected(self):
+        m = _monitored_design()
+        unit = parse_vunit(
+            "vunit u (m) { property p = always ( NOPE ); assert p; }"
+        )
+        with pytest.raises(PslError):
+            compile_assertion(m, unit, "p")
+
+    def test_unasserted_property_rejected(self):
+        m = _monitored_design()
+        unit = parse_vunit(
+            "vunit u (m) { property p = always ( ~BOTH ); assert p; "
+            "property q = always ( REQ ); }"
+        )
+        with pytest.raises(PslError):
+            compile_assertion(m, unit, "q")
+
+    def test_multibit_name_is_nonzero_check(self):
+        m = Module("m")
+        bus = m.input("BUS", 4)
+        m.output("Y", bus)
+        unit = parse_vunit(
+            "vunit u (m) { property p = always ( ~BUS ); assert p; }"
+        )
+        ts = compile_assertion(m, unit, "p")
+        _, bad, _ = ts.evaluate_step(ts.initial_state(),
+                                     _input_env(ts, BUS=0))
+        assert bad == 0
+        _, bad, _ = ts.evaluate_step(ts.initial_state(),
+                                     _input_env(ts, BUS=3))
+        assert bad == 1
+
+
+def _input_env(ts, **words):
+    """Map word-level input values onto AIG input literals."""
+    blaster = ts.blaster
+    env = {}
+    for name, value in words.items():
+        for pos, lit in enumerate(blaster.input_bits[name]):
+            env[lit] = (value >> pos) & 1
+    return env

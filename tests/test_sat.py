@@ -1,0 +1,156 @@
+"""CDCL SAT solver: fuzz against brute force, assumptions, budget."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formal.budget import BudgetExceeded, ResourceBudget
+from repro.formal.sat import Solver
+
+
+def brute_force(num_vars, clauses):
+    for bits in itertools.product([0, 1], repeat=num_vars):
+        if all(any((bits[l >> 1] ^ (l & 1)) == 1 for l in clause)
+               for clause in clauses):
+            return True
+    return False
+
+
+def random_instance(rng, max_vars=8, max_clauses=35):
+    n = rng.randint(1, max_vars)
+    clauses = [
+        [rng.randrange(2 * n) for _ in range(rng.randint(1, 4))]
+        for _ in range(rng.randint(1, max_clauses))
+    ]
+    return n, clauses
+
+
+def solve_instance(n, clauses):
+    solver = Solver()
+    for _ in range(n):
+        solver.new_var()
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return solver, False
+    return solver, solver.solve()
+
+
+class TestFuzz:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed * 31 + 1)
+        for _ in range(60):
+            n, clauses = random_instance(rng)
+            solver, got = solve_instance(n, clauses)
+            assert got == brute_force(n, clauses)
+            if got:
+                for clause in clauses:
+                    assert any(solver.value_of(lit) for lit in clause)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_incremental_assumptions_agree(self, seed):
+        """solve(assumptions) must equal solving with the assumptions
+        added as unit clauses to a fresh solver."""
+        rng = random.Random(seed * 17 + 3)
+        for _ in range(30):
+            n, clauses = random_instance(rng, max_vars=6)
+            solver = Solver()
+            for _ in range(n):
+                solver.new_var()
+            ok = all(solver.add_clause(c) for c in clauses)
+            for trial in range(4):
+                assumptions = [rng.randrange(2 * n)
+                               for _ in range(rng.randint(0, 3))]
+                got = solver.solve(assumptions) if ok else False
+                want = brute_force(
+                    n, clauses + [[lit] for lit in assumptions]
+                ) if ok else False
+                assert got == want, (n, clauses, assumptions)
+
+
+class TestApi:
+    def test_tautology_and_duplicates(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([2 * a, 2 * a + 1])   # tautology dropped
+        assert s.add_clause([2 * a, 2 * a])       # duplicate literal
+        assert s.solve() is True
+
+    def test_empty_clause_unsat(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([2 * a])
+        assert not s.add_clause([2 * a + 1])
+        assert s.solve() is False
+
+    def test_unknown_variable_rejected(self):
+        s = Solver()
+        with pytest.raises(ValueError):
+            s.add_clause([0])
+
+    def test_solve_repeatable(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([2 * a, 2 * b])
+        assert s.solve() is True
+        assert s.solve([2 * a + 1]) is True
+        assert s.value_of(2 * b) == 1
+        assert s.solve([2 * a + 1, 2 * b + 1]) is False
+        assert s.solve() is True
+
+    def test_budget_exhaustion_raises(self):
+        """PHP(6,5) forces a non-trivial amount of search; a tiny
+        conflict budget must trip."""
+        pigeons, holes = 6, 5
+        solver = Solver(ResourceBudget(sat_conflicts=3))
+        var = [[solver.new_var() for _ in range(holes)]
+               for _ in range(pigeons)]
+        for p in range(pigeons):
+            solver.add_clause([2 * var[p][h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([2 * var[p1][h] + 1,
+                                       2 * var[p2][h] + 1])
+        with pytest.raises(BudgetExceeded):
+            solver.solve()
+
+    def test_luby_prefix(self):
+        want = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [Solver._luby(i) for i in range(15)] == want
+
+
+class TestStructuredInstances:
+    def test_pigeonhole_3_into_2_unsat(self):
+        """PHP(3,2): three pigeons, two holes — classically UNSAT."""
+        s = Solver()
+        var = [[s.new_var() for _ in range(2)] for _ in range(3)]
+        for pigeon in range(3):
+            s.add_clause([2 * var[pigeon][h] for h in range(2)])
+        for hole in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    s.add_clause([2 * var[p1][hole] + 1,
+                                  2 * var[p2][hole] + 1])
+        assert s.solve() is False
+
+    def test_xor_chain_sat(self):
+        """x0 ^ x1 ^ ... ^ x7 = 1 encoded clausally."""
+        s = Solver()
+        xs = [s.new_var() for _ in range(8)]
+        # pairwise chain with auxiliaries
+        acc = xs[0]
+        for x in xs[1:]:
+            out = s.new_var()
+            a, b, y = 2 * acc, 2 * x, 2 * out
+            s.add_clause([y ^ 1, a, b])
+            s.add_clause([y ^ 1, a ^ 1, b ^ 1])
+            s.add_clause([y, a ^ 1, b])
+            s.add_clause([y, a, b ^ 1])
+            acc = out
+        s.add_clause([2 * acc])
+        assert s.solve() is True
+        model_parity = sum(s.value_of(2 * x) for x in xs) % 2
+        assert model_parity == 1

@@ -1,0 +1,174 @@
+"""Expression IR: construction, width checking, evaluation,
+substitution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtl.signals import (
+    Const, Input, Op, Reg, WidthError, cat, const, evaluate, mask, mux,
+    substitute, walk, zext,
+)
+
+
+class TestConstruction:
+    def test_const_fits_width(self):
+        assert Const(5, 3).value == 5
+        with pytest.raises(WidthError):
+            Const(8, 3)
+        with pytest.raises(WidthError):
+            Const(-1, 3)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(WidthError):
+            Input("x", 0)
+
+    def test_binop_width_mismatch(self):
+        a = Input("a", 4)
+        b = Input("b", 5)
+        with pytest.raises(WidthError):
+            _ = a & b
+
+    def test_int_coercion(self):
+        a = Input("a", 4)
+        expr = a ^ 0b1010
+        assert isinstance(expr, Op) and expr.kind == "XOR"
+        assert expr.operands[1].value == 0b1010
+
+    def test_slice_bounds(self):
+        a = Input("a", 8)
+        assert a[0:4].width == 4
+        assert a[7].width == 1
+        with pytest.raises(WidthError):
+            _ = a[8]
+        with pytest.raises(WidthError):
+            _ = a[2:10]
+
+    def test_mux_needs_1bit_select(self):
+        sel = Input("s", 2)
+        with pytest.raises(WidthError):
+            mux(sel, const(1, 4), const(2, 4))
+
+    def test_cat_width_is_sum(self):
+        a, b = Input("a", 3), Input("b", 5)
+        assert cat(a, b).width == 8
+
+    def test_zext(self):
+        a = Input("a", 3)
+        assert zext(a, 8).width == 8
+        assert zext(a, 3) is a
+        with pytest.raises(WidthError):
+            zext(a, 2)
+
+    def test_reg_reset_range(self):
+        with pytest.raises(WidthError):
+            Reg("r", 3, reset=8)
+
+    def test_reg_next_width_checked(self):
+        r = Reg("r", 4)
+        with pytest.raises(WidthError):
+            r.next = Input("a", 3)
+
+    def test_reg_next_unset_raises(self):
+        r = Reg("r", 4)
+        with pytest.raises(ValueError):
+            _ = r.next
+
+
+class TestEvaluation:
+    def _env(self, **values):
+        env = {}
+        self.ports = {}
+        for name, (width, value) in values.items():
+            port = Input(name, width)
+            self.ports[name] = port
+            env[port] = value
+        return env
+
+    def test_basic_ops(self):
+        env = self._env(a=(8, 0b1100), b=(8, 0b1010))
+        a, b = self.ports["a"], self.ports["b"]
+        assert evaluate(a & b, env) == 0b1000
+        assert evaluate(a | b, env) == 0b1110
+        assert evaluate(a ^ b, env) == 0b0110
+        assert evaluate(~a, env) == 0b11110011
+        assert evaluate(a + b, env) == (0b1100 + 0b1010)
+        assert evaluate(a - b, env) == (0b1100 - 0b1010)
+
+    def test_modular_arithmetic(self):
+        env = self._env(a=(4, 15), b=(4, 3))
+        a, b = self.ports["a"], self.ports["b"]
+        assert evaluate(a + b, env) == 2      # wraps mod 16
+        assert evaluate(b - a, env) == 4      # borrows mod 16
+
+    def test_comparisons(self):
+        env = self._env(a=(4, 7), b=(4, 9))
+        a, b = self.ports["a"], self.ports["b"]
+        assert evaluate(a.eq(b), env) == 0
+        assert evaluate(a.ne(b), env) == 1
+        assert evaluate(a.lt(b), env) == 1
+        assert evaluate(a.ge(b), env) == 0
+
+    def test_mux_concat_slice(self):
+        env = self._env(s=(1, 1), a=(4, 0xA), b=(4, 0x5))
+        s, a, b = self.ports["s"], self.ports["a"], self.ports["b"]
+        assert evaluate(mux(s, a, b), env) == 0xA
+        assert evaluate(cat(a, b), env) == 0xA5
+        assert evaluate(cat(a, b)[4:8], env) == 0xA
+
+    def test_reductions(self):
+        env = self._env(a=(4, 0b0111), b=(4, 0), c=(4, 0xF))
+        a, b, c = self.ports["a"], self.ports["b"], self.ports["c"]
+        assert evaluate(a.reduce_xor(), env) == 1
+        assert evaluate(b.reduce_or(), env) == 0
+        assert evaluate(c.reduce_and(), env) == 1
+
+    def test_unbound_leaf_raises(self):
+        a = Input("a", 4)
+        with pytest.raises(KeyError):
+            evaluate(a, {})
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Input("a", 8)
+        expr = a
+        for _ in range(5000):
+            expr = expr ^ 1
+        assert evaluate(expr, {a: 0}) == 0  # even number of flips? 5000 flips of bit0
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_add_matches_python(self, x, y):
+        a, b = Input("a", 8), Input("b", 8)
+        assert evaluate(a + b, {a: x, b: y}) == (x + y) & 0xFF
+
+    @given(st.integers(0, 255))
+    def test_redxor_matches_popcount(self, x):
+        a = Input("a", 8)
+        assert evaluate(a.reduce_xor(), {a: x}) == bin(x).count("1") % 2
+
+
+class TestSubstitution:
+    def test_leaf_replacement(self):
+        a, b = Input("a", 4), Input("b", 4)
+        expr = (a ^ 3) & a
+        replaced = substitute(expr, {a: b})
+        assert evaluate(replaced, {b: 0b1010}) == \
+            evaluate(expr, {a: 0b1010})
+
+    def test_sharing_preserved(self):
+        a, b = Input("a", 4), Input("b", 4)
+        shared = a ^ 5
+        expr = shared & (shared | a)
+        replaced = substitute(expr, {a: b})
+        nodes = list(walk([replaced]))
+        xor_nodes = [n for n in nodes
+                     if isinstance(n, Op) and n.kind == "XOR"]
+        assert len(xor_nodes) == 1  # still one shared xor
+
+    def test_width_change_rejected(self):
+        a = Input("a", 4)
+        with pytest.raises(WidthError):
+            substitute(a & 1, {a: Input("b", 5)})
+
+    def test_untouched_graph_returned_as_is(self):
+        a = Input("a", 4)
+        expr = a ^ 1
+        assert substitute(expr, {}) is expr

@@ -1,0 +1,99 @@
+"""The three stereotype property generators (the paper's contribution)."""
+
+import pytest
+
+from repro.chip.library import canonical_leaf
+from repro.core.stereotypes import (
+    P0, P1, P2, P3, count_by_category, edetect_vunit, extra_vunit,
+    integrity_vunit, soundness_vunit, stereotype_vunits,
+)
+from repro.formal.engine import PASS, ModelChecker
+from repro.psl.ast import Always, Implication, Never, Next, PslError
+from repro.psl.compile import compile_assertion
+from repro.psl.parser import parse_vunit
+from repro.rtl.inject import make_verifiable
+
+
+class TestShapes:
+    def test_edetect_structure(self, verifiable_leaf):
+        unit = edetect_vunit(verifiable_leaf)
+        assert unit.category == P0
+        names = [name for name, _ in unit.asserted()]
+        assert names == ["pCheck1_stateA", "pCheck1_dataB", "pCheck2_I_0"]
+        assert not unit.assumed()   # Figure 2 has no assumptions
+        check1 = unit.property_named("pCheck1_stateA")
+        assert isinstance(check1, Always)
+        assert isinstance(check1.inner, Implication)
+        assert isinstance(check1.inner.consequent, Next)
+
+    def test_edetect_requires_verifiable_rtl(self, leaf):
+        with pytest.raises(PslError):
+            edetect_vunit(leaf)
+
+    def test_soundness_structure(self, verifiable_leaf):
+        unit = soundness_vunit(verifiable_leaf)
+        assert unit.category == P1
+        assumed = [name for name, _ in unit.assumed()]
+        assert assumed == ["pIntegrityI_I_0", "pNoErrInjection"]
+        asserted = unit.asserted()
+        assert len(asserted) == 1
+        assert isinstance(asserted[0][1], Never)
+
+    def test_integrity_structure(self, verifiable_leaf):
+        unit = integrity_vunit(verifiable_leaf)
+        assert unit.category == P2
+        assert [name for name, _ in unit.asserted()] == \
+            ["pIntegrityO_O_0"]
+        # same environment as soundness (Figures 3 and 4)
+        assert [n for n, _ in unit.assumed()] == \
+            [n for n, _ in soundness_vunit(verifiable_leaf).assumed()]
+
+    def test_extra_vunit_absent_without_p3(self, verifiable_leaf):
+        assert extra_vunit(verifiable_leaf) is None
+
+    def test_counts(self, verifiable_leaf):
+        units = stereotype_vunits(verifiable_leaf)
+        counts = count_by_category(units)
+        assert counts == {P0: 3, P1: 1, P2: 1, P3: 0, "total": 5}
+
+
+class TestEmittedPslMatchesPaper:
+    """The generated vunits must render to the paper's PSL style and
+    round-trip through our own parser."""
+
+    def test_round_trip(self, verifiable_leaf):
+        for unit in stereotype_vunits(verifiable_leaf):
+            reparsed = parse_vunit(unit.emit())
+            assert reparsed.directives == unit.directives
+            for decl in unit.declarations:
+                assert reparsed.property_named(decl.name) == decl.prop
+
+    def test_figure2_shape(self, verifiable_leaf):
+        text = edetect_vunit(verifiable_leaf).emit()
+        assert text.startswith("vunit M_edetect (M) {")
+        assert "-> next (HE)" in text or "-> next HE" in text
+        assert "assert" in text and "assume" not in text
+
+    def test_figure3_shape(self, verifiable_leaf):
+        text = soundness_vunit(verifiable_leaf).emit()
+        assert "never ( HE )" in text
+        assert text.count("assume") == 2
+        assert "~I_ERR_INJ_C" in text
+
+    def test_figure4_shape(self, verifiable_leaf):
+        text = integrity_vunit(verifiable_leaf).emit()
+        assert "always ( ^O )" in text
+
+
+class TestVerification:
+    """All stereotype properties hold on the bug-free canonical leaf,
+    across engines."""
+
+    @pytest.mark.parametrize("method", ["kind", "bdd-combined", "pobdd"])
+    def test_all_pass(self, verifiable_leaf, budget, method):
+        for unit in stereotype_vunits(verifiable_leaf):
+            for assert_name, _ in unit.asserted():
+                ts = compile_assertion(verifiable_leaf, unit, assert_name)
+                result = ModelChecker(ts, budget).check(method=method)
+                assert result.status == PASS, \
+                    f"{unit.name}.{assert_name} via {method}"
