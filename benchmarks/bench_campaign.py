@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Campaign orchestrator smoke benchmark: serial vs parallel vs warm cache.
+
+Runs the same chip campaign three ways —
+
+1. serial executor, cold (the legacy baseline),
+2. multiprocessing executor, cold,
+3. serial executor against a warm result cache (the ECO-rerun case),
+
+verifies all three produce byte-identical Table 2 output, and writes a
+perf record to ``benchmarks/out/BENCH_campaign.json`` so future PRs
+have a trajectory to beat.
+
+Run:  python benchmarks/bench_campaign.py [--full] [--blocks A,C]
+                                          [--jobs N]
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.chip import ComponentChip                      # noqa: E402
+from repro.core.campaign import FormalCampaign            # noqa: E402
+from repro.core.report import format_table2               # noqa: E402
+from repro.formal.budget import ResourceBudget            # noqa: E402
+from repro.orchestrate import (                           # noqa: E402
+    ParallelExecutor, ResultCache,
+)
+
+OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_campaign.json"
+
+
+def _budget():
+    return ResourceBudget(sat_conflicts=1_000_000, bdd_nodes=10_000_000)
+
+
+def _timed_run(blocks, **kwargs):
+    campaign = FormalCampaign(blocks, budget_factory=_budget, **kwargs)
+    started = time.perf_counter()
+    report = campaign.run()
+    return report, time.perf_counter() - started
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="benchmark the whole 2047-property chip")
+    parser.add_argument("--blocks", default="A,C",
+                        help="comma-separated block subset (default A,C)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the parallel run "
+                             "(default: CPU count)")
+    args = parser.parse_args()
+
+    only = None if args.full else args.blocks.split(",")
+    chip = ComponentChip(only_blocks=only)
+    scope = "full chip" if args.full else f"blocks {','.join(only)}"
+
+    print(f"campaign smoke benchmark over {scope}")
+
+    serial_report, serial_s = _timed_run(chip.blocks)
+    print(f"  serial cold:  {serial_s:7.2f}s "
+          f"({serial_report.total_properties} properties)")
+
+    parallel_report, parallel_s = _timed_run(
+        chip.blocks, executor=ParallelExecutor(processes=args.jobs)
+    )
+    print(f"  parallel cold:{parallel_s:7.2f}s "
+          f"({parallel_report.stats['executor']})")
+
+    with tempfile.TemporaryDirectory(prefix="bench_cache_") as cache_dir:
+        cache_path = os.path.join(cache_dir, "results.json")
+        _timed_run(chip.blocks, cache=ResultCache(cache_path))
+        warm_report, warm_s = _timed_run(chip.blocks,
+                                         cache=ResultCache(cache_path))
+    print(f"  warm cache:   {warm_s:7.2f}s "
+          f"({warm_report.stats['cache_hits']} hits, "
+          f"{warm_report.stats['cache_misses']} misses)")
+
+    tables_identical = (
+        format_table2(serial_report) == format_table2(parallel_report)
+        == format_table2(warm_report)
+    )
+    if not tables_identical:
+        print("  WARNING: executors disagreed on Table 2 output!")
+
+    record = {
+        "benchmark": "campaign_orchestrator",
+        "scope": scope,
+        "properties": serial_report.total_properties,
+        "cpu_count": os.cpu_count(),
+        "parallel_mode": parallel_report.stats["executor"],
+        "seconds": {
+            "serial_cold": round(serial_s, 3),
+            "parallel_cold": round(parallel_s, 3),
+            "warm_cache": round(warm_s, 3),
+        },
+        "speedup": {
+            "parallel_vs_serial": round(serial_s / parallel_s, 2),
+            "warm_vs_serial": round(serial_s / warm_s, 2),
+        },
+        "cache": {
+            "hits": warm_report.stats["cache_hits"],
+            "misses": warm_report.stats["cache_misses"],
+        },
+        "tables_identical": tables_identical,
+    }
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"  perf record -> {OUT_PATH}")
+    return 0 if tables_identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,13 @@ Plays both roles of the paper's flow:
 
 By default runs blocks A and C (~456 properties, a couple of minutes);
 pass ``--full`` for the whole 2047-property chip, ``--defects`` to seed
-all seven bugs and watch the feedback path light up.
+all seven bugs and watch the feedback path light up.  The campaign runs
+through the job orchestrator: ``--jobs N`` checks properties on N
+worker processes, ``--cache FILE`` replays unchanged verdicts from a
+previous run (incremental rerun).
 
 Run:  python examples/full_campaign.py [--full] [--defects]
+                                       [--jobs N] [--cache FILE]
 """
 
 import argparse
@@ -22,6 +26,7 @@ from repro.chip import ALL_DEFECT_IDS, ComponentChip
 from repro.core.campaign import FormalCampaign
 from repro.core.report import format_status_summary, format_table2
 from repro.formal.budget import ResourceBudget
+from repro.orchestrate import ParallelExecutor, ResultCache
 
 
 def main():
@@ -30,6 +35,10 @@ def main():
                         help="run all five blocks (2047 properties)")
     parser.add_argument("--defects", action="store_true",
                         help="seed the seven logic bugs of Table 3")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="check properties on N worker processes")
+    parser.add_argument("--cache", default=None, metavar="FILE",
+                        help="result-cache file for incremental reruns")
     args = parser.parse_args()
 
     blocks = None if args.full else ["A", "C"]
@@ -44,6 +53,9 @@ def main():
         chip.blocks,
         budget_factory=lambda: ResourceBudget(sat_conflicts=1_000_000,
                                               bdd_nodes=10_000_000),
+        executor=(ParallelExecutor(processes=args.jobs)
+                  if args.jobs is not None else None),
+        cache=ResultCache(args.cache) if args.cache else None,
     )
     done = [0]
 
@@ -58,6 +70,9 @@ def main():
     print(format_table2(report))
     print()
     print(format_status_summary(report))
+    if args.cache:
+        print(f"cache: {report.stats['cache_hits']} hit(s), "
+              f"{report.stats['cache_misses']} miss(es)")
 
     failures = report.failures_by_module()
     if failures:

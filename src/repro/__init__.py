@@ -20,6 +20,10 @@ Subpackages
     The paper's methodology: stereotype property generation (P0/P1/P2),
     leaf-module scoping, divide-and-conquer property partitioning, and
     the formal verification campaign.
+``repro.orchestrate``
+    Job-based campaign orchestration: check-job planning, serial and
+    multiprocessing executors, per-job engine portfolios, and the
+    fingerprint-keyed incremental result cache.
 ``repro.synth``
     Gate-level lowering, area model and static timing analysis for the
     design-impact study (Table 4).

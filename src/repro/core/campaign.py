@@ -1,37 +1,51 @@
 """The formal verification campaign (paper section 4, Figure 5).
 
-Drives the full flow the paper's single verification engineer ran:
+The campaign reproduces the flow the paper's single verification
+engineer ran — lint the Verifiable RTL, generate the stereotype vunits
+(P0/P1/P2) plus the designer's P3 properties, model check every
+``assert``, and aggregate Tables 2/3 — but it is now architected as a
+**job graph** rather than a serial loop:
 
-1. take every in-scope leaf module (with its released Verifiable RTL
-   and integrity specification),
-2. lint the Verifiable-RTL requirements,
-3. generate the stereotype vunits (P0/P1/P2) plus the designer's P3
-   properties,
-4. compile every ``assert`` into a safety problem and model check it,
-5. aggregate results by block and property type (Table 2) and map
-   failures back to logic bugs for designer feedback (Table 3).
+- a *planner* walks the blocks once and emits one ``CheckJob`` per
+  asserted property (:mod:`repro.orchestrate.planner`);
+- an *executor* runs the jobs — serially by default, or fanned out over
+  worker processes — and streams results back in plan order
+  (:mod:`repro.orchestrate.executor`);
+- an optional *result cache* keyed by a content fingerprint of
+  (module RTL, vunit source, engine config) replays verdicts for
+  unchanged properties, making ECO reruns incremental
+  (:mod:`repro.orchestrate.cache`);
+- the *orchestrator* aggregates the stream into this module's
+  :class:`CampaignReport` (:mod:`repro.orchestrate.orchestrator`).
+
+:class:`FormalCampaign` is the compatibility façade over that
+machinery: same constructor, same ``run(progress)``, same report — plus
+``executor=``, ``cache=``, and ``engines=`` knobs for the new
+capabilities.  The report dataclasses (:class:`PropertyResult`,
+:class:`BlockSummary`, :class:`CampaignReport`) remain the public
+result model that report rendering (:mod:`repro.core.report`) and the
+benchmarks consume.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..formal.budget import ResourceBudget
-from ..formal.engine import CheckResult, FAIL, ModelChecker, PASS, TIMEOUT
-from ..psl.ast import VUnit
-from ..psl.compile import compile_assertion
-from ..rtl.elaborate import elaborate
-from ..rtl.lint import LintIssue, lint_verifiable
+from ..formal.engine import CheckResult, FAIL, PASS
+from ..rtl.lint import LintIssue
 from ..rtl.module import Module
-from .leaf import classify
-from .stereotypes import P0, P1, P2, P3, stereotype_vunits
+from .stereotypes import P0, P1, P2, P3
 
 
 @dataclass
 class PropertyResult:
-    """One checked assertion."""
+    """One checked assertion.
+
+    ``cached`` marks verdicts replayed from the orchestrator's result
+    cache rather than computed by an engine in this run.
+    """
 
     block: str
     module_name: str
@@ -39,10 +53,15 @@ class PropertyResult:
     assert_name: str
     category: str
     result: CheckResult
+    cached: bool = False
 
     @property
     def qualified_name(self) -> str:
         return f"{self.vunit_name}.{self.assert_name}"
+
+
+#: categories a :class:`BlockSummary` keeps a counter for
+_CATEGORIES = (P0, P1, P2, P3)
 
 
 @dataclass
@@ -62,18 +81,29 @@ class BlockSummary:
         return self.p0 + self.p1 + self.p2 + self.p3
 
     def add(self, category: str, count: int = 1) -> None:
+        if category not in _CATEGORIES:
+            raise ValueError(
+                f"unknown property category {category!r}; "
+                f"expected one of {_CATEGORIES}"
+            )
         attr = category.lower()
         setattr(self, attr, getattr(self, attr) + count)
 
 
 @dataclass
 class CampaignReport:
-    """Aggregate of a formal campaign."""
+    """Aggregate of a formal campaign.
+
+    ``stats`` carries the orchestration counters of the producing run:
+    executor name, engine portfolio, job count, cache hits/misses, and
+    which modules were actually checked vs replayed from cache.
+    """
 
     results: List[PropertyResult] = field(default_factory=list)
     blocks: Dict[str, BlockSummary] = field(default_factory=dict)
     lint_issues: List[LintIssue] = field(default_factory=list)
     seconds: float = 0.0
+    stats: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -115,13 +145,29 @@ class FormalCampaign:
 
     ``budget_factory`` builds a fresh resource budget per property; the
     default is generous enough for every leaf problem and trips only on
-    genuinely oversized cones (the Figure 7 scenario).
+    genuinely oversized cones (the Figure 7 scenario).  Only the
+    factory's *limits* matter — the orchestrator rebuilds an equivalent
+    budget per job so that checks never share spent counters, even
+    across processes.
+
+    The orchestration knobs (all optional, all defaulting to the legacy
+    behaviour):
+
+    - ``executor`` — a :class:`~repro.orchestrate.executor.SerialExecutor`
+      (default) or :class:`~repro.orchestrate.executor.ParallelExecutor`
+      (or anything honouring the results-in-plan-order contract);
+    - ``cache`` — a :class:`~repro.orchestrate.cache.ResultCache` for
+      incremental reruns;
+    - ``engines`` — an explicit engine portfolio (tuple of
+      :class:`~repro.orchestrate.job.EngineConfig`), overriding
+      ``method``/``max_k``/``budget_factory``.
     """
 
     def __init__(self, blocks: Sequence[Tuple[str, Sequence[Module]]],
                  method: str = "auto", max_k: int = 40,
                  budget_factory: Optional[Callable[[], ResourceBudget]] = None,
-                 lint: bool = True) -> None:
+                 lint: bool = True, executor=None, cache=None,
+                 engines=None) -> None:
         self.blocks = [(name, list(mods)) for name, mods in blocks]
         self.method = method
         self.max_k = max_k
@@ -129,54 +175,25 @@ class FormalCampaign:
             lambda: ResourceBudget(sat_conflicts=200_000, bdd_nodes=2_000_000)
         )
         self.lint = lint
+        self.executor = executor
+        self.cache = cache
+        self.engines = tuple(engines) if engines else None
 
     # ------------------------------------------------------------------
     def run(self, progress: Optional[Callable[[str], None]] = None
             ) -> CampaignReport:
-        report = CampaignReport()
-        started = time.perf_counter()
-        for block_name, modules in self.blocks:
-            summary = report.blocks.setdefault(
-                block_name, BlockSummary(block_name)
-            )
-            for module in modules:
-                entry = classify(module)
-                if not entry.in_scope:
-                    continue
-                summary.submodules += 1
-                if self.lint:
-                    report.lint_issues.extend(lint_verifiable(module))
-                self._check_module(block_name, module, summary, report,
-                                   progress)
-            summary.bugs = len({
-                r.module_name for r in report.results
-                if r.block == block_name and r.result.status == FAIL
-            })
-        report.seconds = time.perf_counter() - started
-        return report
+        from ..orchestrate import CampaignOrchestrator, EngineConfig
 
-    # ------------------------------------------------------------------
-    def _check_module(self, block_name: str, module: Module,
-                      summary: BlockSummary, report: CampaignReport,
-                      progress: Optional[Callable[[str], None]]) -> None:
-        design = elaborate(module)
-        for vunit in stereotype_vunits(module):
-            for assert_name, _ in vunit.asserted():
-                ts = compile_assertion(module, vunit, assert_name,
-                                       design=design)
-                checker = ModelChecker(ts, budget=self.budget_factory())
-                result = checker.check(method=self.method,
-                                       max_k=self.max_k)
-                record = PropertyResult(
-                    block=block_name,
-                    module_name=module.name,
-                    vunit_name=vunit.name,
-                    assert_name=assert_name,
-                    category=vunit.category,
-                    result=result,
-                )
-                report.results.append(record)
-                summary.add(vunit.category)
-                if progress is not None:
-                    progress(f"{record.qualified_name}: "
-                             f"{result.status.upper()}")
+        engines = self.engines
+        if engines is None:
+            engines = (EngineConfig.from_budget(
+                self.budget_factory(), method=self.method, max_k=self.max_k
+            ),)
+        orchestrator = CampaignOrchestrator(
+            self.blocks,
+            engines=engines,
+            executor=self.executor,
+            cache=self.cache,
+            lint=self.lint,
+        )
+        return orchestrator.run(progress)

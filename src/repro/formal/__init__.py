@@ -16,7 +16,8 @@ from .reachability import (
 )
 from .pobdd import PobddStats, choose_window_vars, pobdd_reach
 from .engine import (
-    FAIL, PASS, TIMEOUT, UNKNOWN, CheckResult, ModelChecker,
+    FAIL, PASS, TIMEOUT, UNKNOWN, CheckResult, EngineOptions, ModelChecker,
+    register_engine, registered_engines,
 )
 from .equivalence import (
     MISCOMPARE_OUTPUT, build_miter, check_equivalence,
@@ -32,7 +33,8 @@ __all__ = [
     "ReachResult", "SymbolicModel", "backward_reach", "combined_reach",
     "forward_reach",
     "PobddStats", "choose_window_vars", "pobdd_reach",
-    "FAIL", "PASS", "TIMEOUT", "UNKNOWN", "CheckResult", "ModelChecker",
+    "FAIL", "PASS", "TIMEOUT", "UNKNOWN", "CheckResult", "EngineOptions",
+    "ModelChecker", "register_engine", "registered_engines",
     "MISCOMPARE_OUTPUT", "build_miter", "check_equivalence",
     "injection_transparent",
 ]

@@ -4,7 +4,8 @@ One :class:`ModelChecker` wraps every engine in the package behind the
 black-box contract the paper's verification engineer relies on: safety
 property in, PASS / FAIL(+counterexample) / TIMEOUT out.
 
-Engines:
+Engines are looked up in an extensible registry (:func:`register_engine`
+/ :func:`registered_engines`); the built-in entries are:
 
 - ``bmc`` — bounded search only (returns UNKNOWN when no counterexample
   exists within the bound);
@@ -16,6 +17,11 @@ Engines:
   invariants the methodology produces), falling back to BDD combined
   traversal for properties induction cannot settle.
 
+An engine is any callable ``(checker, options) -> CheckResult``;
+registering one makes it available to every ``method=`` call site,
+including the campaign orchestrator's per-job engine portfolios
+(:mod:`repro.orchestrate`).
+
 Counterexamples found by BDD engines are concretised by a BMC run at
 the discovered depth, then validated by replay on the transition
 system before being reported.
@@ -25,7 +31,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from .bmc import bmc
 from .budget import BudgetExceeded, ResourceBudget
@@ -72,28 +78,91 @@ class CheckResult:
                 f"engine={self.engine})")
 
 
-class ModelChecker:
-    """Checks one safety problem (a :class:`TransitionSystem`)."""
+@dataclass(frozen=True)
+class EngineOptions:
+    """Tuning knobs handed to a registered engine."""
 
-    METHODS = ("auto", "bmc", "kind", "bdd-forward", "bdd-backward",
-               "bdd-combined", "pobdd")
+    max_bound: int = 60
+    max_k: int = 40
+    unique_states: bool = True
+    num_window_vars: int = 2
+
+
+EngineFn = Callable[["ModelChecker", EngineOptions], CheckResult]
+
+#: name -> engine callable; insertion order is the public listing order.
+_ENGINES: Dict[str, EngineFn] = {}
+
+
+def register_engine(name: str, fn: Optional[EngineFn] = None):
+    """Register ``fn`` as engine ``name`` (usable as a decorator).
+
+    The callable receives the :class:`ModelChecker` (for the transition
+    system, shared budget, and the trace helpers) and an
+    :class:`EngineOptions`; it must return a :class:`CheckResult`.
+    Re-registering a name replaces the previous engine.
+    """
+    if not isinstance(name, str):
+        raise TypeError(
+            "register_engine needs an engine name — use "
+            "@register_engine(\"name\"), not @register_engine"
+        )
+
+    def _register(fn: EngineFn) -> EngineFn:
+        _ENGINES[name] = fn
+        return fn
+
+    return _register(fn) if fn is not None else _register
+
+
+def registered_engines() -> Tuple[str, ...]:
+    """Names of every registered engine, in registration order."""
+    return tuple(_ENGINES)
+
+
+class _ModelCheckerMeta(type):
+    @property
+    def METHODS(cls) -> Tuple[str, ...]:
+        """Live, read-only view of the engine registry."""
+        return registered_engines()
+
+
+class ModelChecker(metaclass=_ModelCheckerMeta):
+    """Checks one safety problem (a :class:`TransitionSystem`)."""
 
     def __init__(self, ts: TransitionSystem,
                  budget: Optional[ResourceBudget] = None) -> None:
         self.ts = ts
         self.budget = budget
 
+    @property
+    def METHODS(self) -> Tuple[str, ...]:
+        """Live, read-only view of the engine registry (instance
+        access; class access goes through the metaclass property)."""
+        return registered_engines()
+
     # ------------------------------------------------------------------
     def check(self, method: str = "auto", max_bound: int = 60,
               max_k: int = 40, unique_states: bool = True,
-              num_window_vars: int = 2) -> CheckResult:
-        if method not in self.METHODS:
+              num_window_vars: int = 2,
+              options: Optional[EngineOptions] = None) -> CheckResult:
+        """Check the property with engine ``method``.
+
+        ``options`` overrides the individual tuning kwargs when given
+        (the orchestrator passes a ready-made :class:`EngineOptions`;
+        the kwargs form remains for direct callers).
+        """
+        engine = _ENGINES.get(method)
+        if engine is None:
             raise ValueError(f"unknown method {method!r}; "
-                             f"pick one of {self.METHODS}")
+                             f"pick one of {registered_engines()}")
+        if options is None:
+            options = EngineOptions(max_bound=max_bound, max_k=max_k,
+                                    unique_states=unique_states,
+                                    num_window_vars=num_window_vars)
         started = time.perf_counter()
         try:
-            result = self._dispatch(method, max_bound, max_k,
-                                    unique_states, num_window_vars)
+            result = engine(self, options)
         except BudgetExceeded as exhausted:
             result = CheckResult(
                 name=self.ts.name,
@@ -110,25 +179,6 @@ class ModelChecker:
         return result
 
     # ------------------------------------------------------------------
-    def _dispatch(self, method: str, max_bound: int, max_k: int,
-                  unique_states: bool, num_window_vars: int) -> CheckResult:
-        if method == "bmc":
-            return self._run_bmc(max_bound)
-        if method == "kind":
-            return self._run_induction(max_k, unique_states)
-        if method in ("bdd-forward", "bdd-backward", "bdd-combined"):
-            return self._run_bdd(method)
-        if method == "pobdd":
-            return self._run_pobdd(num_window_vars)
-        # auto: induction first, BDD combined as the decision procedure
-        inductive = self._run_induction(max_k, unique_states)
-        if inductive.status in (PASS, FAIL):
-            inductive.engine = "auto:kind"
-            return inductive
-        bdd_result = self._run_bdd("bdd-combined")
-        bdd_result.engine = "auto:" + bdd_result.engine
-        return bdd_result
-
     def _run_bmc(self, max_bound: int) -> CheckResult:
         result = bmc(self.ts, max_bound, budget=self.budget)
         if result.failed:
@@ -209,3 +259,44 @@ class ModelChecker:
     def _validate(trace: Optional[Trace]) -> None:
         if trace is not None and not trace.replay():
             raise RuntimeError("counterexample failed replay validation")
+
+
+# ----------------------------------------------------------------------
+# built-in engine registrations
+# ----------------------------------------------------------------------
+
+@register_engine("auto")
+def _engine_auto(checker: ModelChecker, options: EngineOptions) -> CheckResult:
+    """Induction first, BDD combined as the decision procedure."""
+    inductive = checker._run_induction(options.max_k, options.unique_states)
+    if inductive.status in (PASS, FAIL):
+        inductive.engine = "auto:kind"
+        return inductive
+    bdd_result = checker._run_bdd("bdd-combined")
+    bdd_result.engine = "auto:" + bdd_result.engine
+    return bdd_result
+
+
+@register_engine("bmc")
+def _engine_bmc(checker: ModelChecker, options: EngineOptions) -> CheckResult:
+    return checker._run_bmc(options.max_bound)
+
+
+@register_engine("kind")
+def _engine_kind(checker: ModelChecker, options: EngineOptions) -> CheckResult:
+    return checker._run_induction(options.max_k, options.unique_states)
+
+
+def _bdd_engine(method: str) -> EngineFn:
+    def run(checker: ModelChecker, options: EngineOptions) -> CheckResult:
+        return checker._run_bdd(method)
+    return run
+
+
+for _method in ("bdd-forward", "bdd-backward", "bdd-combined"):
+    register_engine(_method, _bdd_engine(_method))
+
+
+@register_engine("pobdd")
+def _engine_pobdd(checker: ModelChecker, options: EngineOptions) -> CheckResult:
+    return checker._run_pobdd(options.num_window_vars)

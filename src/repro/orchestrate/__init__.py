@@ -1,0 +1,38 @@
+"""Job-based campaign orchestration.
+
+This package turns the paper's serial check-everything loop into a
+scheduled job graph:
+
+- :mod:`~repro.orchestrate.job` — :class:`CheckJob` (one property
+  check: module + vunit + assertion + engine portfolio), content
+  fingerprints, and the portfolio runner;
+- :mod:`~repro.orchestrate.planner` — one walk over the chip produces
+  the flat, ordered job list;
+- :mod:`~repro.orchestrate.executor` — serial and multiprocessing
+  executors, both bound to the results-in-plan-order contract;
+- :mod:`~repro.orchestrate.cache` — fingerprint-keyed on-disk result
+  store for incremental (ECO-regression) reruns;
+- :mod:`~repro.orchestrate.orchestrator` — ties it together and
+  aggregates the legacy :class:`~repro.core.campaign.CampaignReport`.
+
+``FormalCampaign`` in :mod:`repro.core.campaign` is a thin façade over
+:class:`CampaignOrchestrator`, so existing call sites keep working.
+"""
+
+from .job import (
+    CheckJob, DEFAULT_PORTFOLIO_METHODS, EngineConfig, JobResult,
+    compile_job, job_fingerprint, portfolio, run_check_job,
+)
+from .planner import CampaignPlan, plan_campaign
+from .executor import ParallelExecutor, SerialExecutor
+from .cache import ResultCache
+from .orchestrator import CampaignOrchestrator
+
+__all__ = [
+    "CheckJob", "DEFAULT_PORTFOLIO_METHODS", "EngineConfig", "JobResult",
+    "compile_job", "job_fingerprint", "portfolio", "run_check_job",
+    "CampaignPlan", "plan_campaign",
+    "ParallelExecutor", "SerialExecutor",
+    "ResultCache",
+    "CampaignOrchestrator",
+]

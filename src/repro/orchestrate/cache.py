@@ -1,0 +1,171 @@
+"""Incremental result cache — fingerprint-keyed, on-disk, verdict-safe.
+
+The cache maps a :func:`~repro.orchestrate.job.job_fingerprint` (a
+content hash of module RTL + vunit PSL + assertion + engine portfolio)
+to a serialized :class:`CheckResult`.  Because the key covers the full
+input of the check, a hit can only replay a verdict for a byte-identical
+problem; any edit to the RTL, the properties, or the engine
+configuration changes the fingerprint and forces a re-check.  That is
+what makes ECO regression incremental: only modules the ECO actually
+touched miss the cache.
+
+Safety rules, in order of importance:
+
+1. **Never a wrong verdict.**  Anything suspicious — unreadable file,
+   unknown status, malformed trace — degrades to a cache *miss* and the
+   property is re-checked from scratch.  The store also records the
+   ``repro`` package version and is discarded wholesale on mismatch,
+   since the fingerprint covers engine *configuration* but not engine
+   *implementation*.  The one hole left open: a custom engine
+   registered at runtime that changes behaviour under the same name
+   and package version — delete the cache file after changing one.
+2. **Counterexamples stay validated.**  A cached FAIL stores the trace's
+   input frames; on a hit the assertion is recompiled, the trace is
+   rebuilt against the fresh transition system, and it must replay as a
+   real violation — otherwise the entry is discarded as a miss.
+3. **Cheap hits.**  PASS/TIMEOUT/UNKNOWN hits skip compilation and the
+   engines entirely; only FAIL hits pay one compile for trace replay.
+
+The store is a single JSON file, loaded on construction and written by
+:meth:`ResultCache.flush` (the orchestrator flushes once per run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from .. import __version__
+from ..formal.engine import CheckResult, FAIL, PASS, TIMEOUT, UNKNOWN
+from ..formal.trace import Trace
+from .job import CheckJob, compile_job
+
+_STATUSES = (PASS, FAIL, TIMEOUT, UNKNOWN)
+
+
+class ResultCache:
+    """On-disk JSON store of check results keyed by content fingerprint."""
+
+    VERSION = 1
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._entries: Dict[str, dict] = self._load()
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def _load(self) -> Dict[str, dict]:
+        """Read the store; any corruption degrades to an empty cache."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict) or raw.get("version") != self.VERSION \
+                or raw.get("repro_version") != __version__:
+            return {}
+        entries = raw.get("entries")
+        if not isinstance(entries, dict):
+            return {}
+        return {key: value for key, value in entries.items()
+                if isinstance(value, dict)}
+
+    def flush(self) -> None:
+        """Persist the store (atomic rename) if anything changed."""
+        if not self._dirty:
+            return
+        payload = {"version": self.VERSION, "repro_version": __version__,
+                   "entries": self._entries}
+        tmp_path = f"{self.path}.tmp"
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, default=repr)
+        os.replace(tmp_path, self.path)
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    # ------------------------------------------------------------------
+    def store(self, fingerprint: str, result: CheckResult) -> None:
+        """Record one result (trace frames included for FAIL)."""
+        trace_frames = None
+        if result.trace is not None:
+            trace_frames = [
+                sorted((int(lit), int(bit)) for lit, bit in frame.items())
+                for frame in result.trace.inputs_by_frame
+            ]
+        self._entries[fingerprint] = {
+            "name": result.name,
+            "status": result.status,
+            "engine": result.engine,
+            "depth": result.depth,
+            "seconds": result.seconds,
+            "stats": _jsonable(result.stats),
+            "trace": trace_frames,
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: str, job: CheckJob,
+               design_cache: Optional[dict] = None
+               ) -> Optional[CheckResult]:
+        """Return the cached :class:`CheckResult` for ``fingerprint``,
+        or ``None`` (a miss) when absent or not provably sound."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            return None
+        try:
+            return self._realise(entry, job, design_cache)
+        except Exception:
+            # malformed entry, unknown signal, failed replay... — all
+            # degrade to a miss and an eviction, never a wrong verdict
+            self._entries.pop(fingerprint, None)
+            self._dirty = True
+            return None
+
+    def _realise(self, entry: dict, job: CheckJob,
+                 design_cache: Optional[dict]) -> Optional[CheckResult]:
+        status = entry["status"]
+        if status not in _STATUSES:
+            raise ValueError(f"unknown cached status {status!r}")
+        trace = None
+        if status == FAIL:
+            frames = entry["trace"]
+            if not isinstance(frames, list) or not frames:
+                raise ValueError("cached FAIL without a trace")
+            ts = compile_job(job, design_cache)
+            trace = Trace(ts, [
+                {int(lit): int(bit) & 1 for lit, bit in frame}
+                for frame in frames
+            ])
+            if not trace.replay():
+                raise ValueError("cached counterexample failed replay")
+        stats = entry.get("stats")
+        stats = dict(stats) if isinstance(stats, dict) else {}
+        depth = entry.get("depth")
+        return CheckResult(
+            name=str(entry.get("name", job.qualified_name)),
+            status=status,
+            engine=str(entry.get("engine", "?")),
+            depth=int(depth) if depth is not None else None,
+            trace=trace,
+            stats=stats,
+            seconds=float(entry.get("seconds") or 0.0),
+        )
+
+
+def _jsonable(value):
+    """Best-effort conversion of engine stats to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -1,0 +1,115 @@
+"""Job executors: serial (deterministic default) and multiprocessing.
+
+An executor is anything with a ``name`` and a ``map(jobs)`` method that
+yields one :class:`JobResult` per job **in job-index order**.  The
+ordering contract is what makes every execution strategy produce the
+same report: the orchestrator aggregates results as they stream out,
+so serial, process-parallel, and any future distributed executor are
+interchangeable without touching aggregation or report rendering.
+
+``ParallelExecutor`` ships pickled jobs to a ``multiprocessing`` pool
+and relies on ``imap`` (ordered, lazy) to restore plan order.  Each
+worker keeps a per-process elaboration cache so consecutive jobs of the
+same module (the planner emits them contiguously) share one flattened
+design, mirroring the serial executor's reuse.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, Iterable, Iterator, Optional
+
+from .job import CheckJob, JobResult, run_check_job
+
+
+class SerialExecutor:
+    """Run every job in-process, in plan order (the default)."""
+
+    name = "serial"
+
+    def map(self, jobs: Iterable[CheckJob]) -> Iterator[JobResult]:
+        design_cache: Dict[str, tuple] = {}
+        for job in jobs:
+            yield run_check_job(job, design_cache)
+
+
+#: per-worker-process elaboration cache, module name -> (module, design);
+#: see compile_job for the single-entry + same-object policy
+_WORKER_DESIGNS: Dict[str, tuple] = {}
+
+
+def _worker_run(job: CheckJob) -> JobResult:
+    return run_check_job(job, _WORKER_DESIGNS)
+
+
+class ParallelExecutor:
+    """Fan jobs out over a ``multiprocessing`` pool.
+
+    ``processes`` defaults to the machine's CPU count; ``chunksize``
+    controls how many consecutive jobs each worker grabs at once
+    (larger chunks amortise pickling and keep same-module jobs on one
+    worker's design cache; the default aims at ~4 chunks per worker).
+
+    Engines registered at runtime via
+    :func:`~repro.formal.engine.register_engine` reach workers only
+    under the ``fork`` start method (workers inherit the parent's
+    registry).  On spawn-only platforms workers re-import the engine
+    module and see just the built-ins, so jobs using a custom engine
+    fail with ``unknown method`` — run those campaigns serially there.
+    """
+
+    def __init__(self, processes: Optional[int] = None,
+                 chunksize: Optional[int] = None) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.processes = processes or os.cpu_count() or 1
+        self.chunksize = chunksize
+        self._fell_back = False
+
+    @property
+    def name(self) -> str:
+        """Reports the *effective* mode: a 1-worker or <=1-job run never
+        creates a pool, and stats must not claim it did."""
+        if self._fell_back:
+            return "parallel[serial-fallback]"
+        return "parallel"
+
+    def map(self, jobs: Iterable[CheckJob]) -> Iterator[JobResult]:
+        jobs = list(jobs)
+        if len(jobs) <= 1 or self.processes == 1:
+            # nothing to parallelise — skip the pool overhead entirely
+            self._fell_back = True
+            yield from SerialExecutor().map(jobs)
+            return
+        self._fell_back = False
+        chunksize = self.chunksize or max(
+            1, len(jobs) // (self.processes * 4)
+        )
+        context = _pool_context()
+        pool = context.Pool(processes=self.processes)
+        closed = False
+        try:
+            for job_result in pool.imap(_worker_run, jobs, chunksize):
+                yield job_result
+            # reached when the consumer drives the generator past the
+            # last result (the orchestrator always does): shut the
+            # workers down gracefully
+            pool.close()
+            pool.join()
+            closed = True
+        finally:
+            if not closed:
+                pool.terminate()
+                pool.join()
+
+
+def _pool_context():
+    """Prefer fork (no re-import, cheap job shipping); fall back to the
+    platform default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()

@@ -1,0 +1,254 @@
+"""Check jobs — the unit of work of the campaign orchestrator.
+
+One :class:`CheckJob` is a single property check: a leaf module, one of
+its stereotype vunits, one asserted property, and the engine portfolio
+to try.  Jobs are:
+
+- **self-contained** — everything needed to run the check travels with
+  the job, so an executor can run it in-process or ship it to a worker
+  process (jobs and their results are picklable);
+- **content-addressed** — :func:`job_fingerprint` hashes the module's
+  emitted Verilog, the vunit's PSL text, the assertion name, and the
+  engine portfolio, so an unchanged check always maps to the same key
+  (the result cache's index, see :mod:`repro.orchestrate.cache`);
+- **engine-agnostic** — the portfolio is an ordered tuple of
+  :class:`EngineConfig` stages tried until one returns a definitive
+  PASS/FAIL verdict, generalising the old hardcoded ``auto`` fallback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from ..formal.budget import ResourceBudget
+from ..formal.engine import (
+    CheckResult, EngineOptions, FAIL, PASS, ModelChecker,
+)
+from ..psl.ast import VUnit
+from ..psl.compile import compile_assertion
+from ..rtl.elaborate import FlatDesign, elaborate
+from ..rtl.module import Module
+from ..rtl.verilog import emit_module
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One engine invocation: method, tuning knobs, resource limits.
+
+    ``sat_conflicts`` / ``bdd_nodes`` are the deterministic budget
+    limits (``None`` = unlimited); a fresh :class:`ResourceBudget` is
+    built per check so retries and portfolio stages never share spent
+    counters.
+    """
+
+    method: str = "auto"
+    max_bound: int = 60
+    max_k: int = 40
+    unique_states: bool = True
+    num_window_vars: int = 2
+    sat_conflicts: Optional[int] = None
+    bdd_nodes: Optional[int] = None
+
+    @classmethod
+    def from_budget(cls, budget: Optional[ResourceBudget],
+                    **overrides) -> "EngineConfig":
+        """Build a config carrying ``budget``'s limits (not its spent
+        counters) — the bridge from the legacy ``budget_factory`` API."""
+        if budget is not None:
+            overrides.setdefault("sat_conflicts", budget.sat_conflicts)
+            overrides.setdefault("bdd_nodes", budget.bdd_nodes)
+        return cls(**overrides)
+
+    def make_budget(self) -> ResourceBudget:
+        return ResourceBudget(sat_conflicts=self.sat_conflicts,
+                              bdd_nodes=self.bdd_nodes)
+
+    def options(self) -> EngineOptions:
+        """The :class:`EngineOptions` slice of this config — derived
+        from the option dataclass's own fields, so a knob added there
+        (and here) flows through dispatch and fingerprints without
+        further bookkeeping."""
+        return EngineOptions(**{
+            f.name: getattr(self, f.name) for f in fields(EngineOptions)
+        })
+
+    def describe(self) -> Dict[str, object]:
+        """Stable, JSON-able description used in fingerprints."""
+        return {
+            "method": self.method,
+            "sat_conflicts": self.sat_conflicts,
+            "bdd_nodes": self.bdd_nodes,
+            **asdict(self.options()),
+        }
+
+
+#: The default portfolio sequence: k-induction (fast on the inductive
+#: parity invariants the methodology produces), then full BDD combined
+#: traversal, then partitioned-ROBDD reachability as the last resort.
+DEFAULT_PORTFOLIO_METHODS = ("kind", "bdd-combined", "pobdd")
+
+
+def portfolio(*methods: str, **common) -> Tuple[EngineConfig, ...]:
+    """Build an engine portfolio: one :class:`EngineConfig` per method,
+    sharing the keyword tuning knobs (budget limits, bounds...).
+
+    With no methods given, builds :data:`DEFAULT_PORTFOLIO_METHODS`.
+    """
+    if not methods:
+        methods = DEFAULT_PORTFOLIO_METHODS
+    return tuple(EngineConfig(method=method, **common) for method in methods)
+
+
+@dataclass
+class CheckJob:
+    """One property check, planned but not yet executed.
+
+    ``index`` is the job's position in the campaign plan; executors must
+    deliver results in index order so reports are deterministic
+    regardless of execution strategy.
+    """
+
+    index: int
+    block: str
+    module: Module
+    vunit: VUnit
+    assert_name: str
+    category: str
+    engines: Tuple[EngineConfig, ...]
+    fingerprint: str
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.vunit.name}.{self.assert_name}"
+
+
+@dataclass
+class JobResult:
+    """Outcome of one executed :class:`CheckJob`.
+
+    Identification is carried as scalars (no module/vunit references),
+    so PASS results ship back across the process boundary cheaply; a
+    FAIL's :class:`CheckResult` still carries its replay-validated
+    :class:`~repro.formal.trace.Trace` — including the transition
+    system it replays on — which is what report consumers render for
+    designer feedback."""
+
+    index: int
+    block: str
+    module_name: str
+    vunit_name: str
+    assert_name: str
+    category: str
+    result: CheckResult
+    cached: bool = False
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.vunit_name}.{self.assert_name}"
+
+
+def engines_digest(engines: Tuple[EngineConfig, ...]) -> str:
+    """Stable digest text of an engine portfolio."""
+    return json.dumps([config.describe() for config in engines],
+                      sort_keys=True)
+
+
+def text_digest(text: str) -> str:
+    """SHA-256 of one fingerprint component (module RTL, vunit PSL)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint_digests(module_digest: str, vunit_digest: str,
+                        assert_name: str, engines_text: str) -> str:
+    """Combine pre-hashed fingerprint components into the content key.
+
+    The planner digests each module's Verilog and each vunit's PSL
+    once (:func:`text_digest`) and reuses the digests across that
+    module's assertions, so per-run fingerprint cost stays linear in
+    design size rather than assertions × design size.
+    """
+    payload = "\n\x00\n".join([
+        module_digest, vunit_digest, assert_name, engines_text,
+    ])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def job_fingerprint(module: Module, vunit: VUnit, assert_name: str,
+                    engines: Tuple[EngineConfig, ...]) -> str:
+    """Content fingerprint of one check: module RTL (emitted Verilog),
+    vunit PSL source, assertion name, and engine portfolio."""
+    return fingerprint_digests(text_digest(emit_module(module)),
+                               text_digest(vunit.emit()),
+                               assert_name, engines_digest(engines))
+
+
+def compile_job(job: CheckJob,
+                design_cache: Optional[Dict[str, tuple]] = None):
+    """Compile the job's assertion into a transition system, reusing an
+    elaborated design across a module's consecutive jobs when a cache
+    dict is supplied.
+
+    The cache keeps only the most recent module's design: the planner
+    emits each module's jobs contiguously, so one entry gives the same
+    hit rate as keeping every design alive for the whole campaign.  A
+    hit requires the cached entry to come from the *same module
+    object* — two distinct modules may share a name (e.g. a golden and
+    a patched variant in one plan), and checking one against the
+    other's elaboration would corrupt verdicts.
+    """
+    design: Optional[FlatDesign] = None
+    if design_cache is not None:
+        entry = design_cache.get(job.module.name)
+        if entry is not None and entry[0] is job.module:
+            design = entry[1]
+    if design is None:
+        design = elaborate(job.module)
+        if design_cache is not None:
+            design_cache.clear()
+            design_cache[job.module.name] = (job.module, design)
+    return compile_assertion(job.module, job.vunit, job.assert_name,
+                             design=design)
+
+
+def run_check_job(job: CheckJob,
+                  design_cache: Optional[Dict[str, tuple]] = None
+                  ) -> JobResult:
+    """Execute one check job: compile, then try each portfolio stage in
+    order until one returns a definitive PASS/FAIL verdict.
+
+    With a multi-stage portfolio the winning stage's result is reported
+    (engine label prefixed ``portfolio:``) and every stage attempt is
+    recorded in ``result.stats['portfolio']``; if no stage is
+    definitive, the last stage's result (UNKNOWN/TIMEOUT) stands.
+    """
+    if not job.engines:
+        raise ValueError(f"job {job.qualified_name!r} has no engines")
+    ts = compile_job(job, design_cache)
+    attempts = []
+    result = None
+    for config in job.engines:
+        checker = ModelChecker(ts, budget=config.make_budget())
+        result = checker.check(method=config.method,
+                               options=config.options())
+        attempts.append({"engine": config.method, "status": result.status,
+                         "seconds": result.seconds})
+        if result.status in (PASS, FAIL):
+            break
+    if len(job.engines) > 1:
+        result.stats["portfolio"] = attempts
+        result.engine = f"portfolio:{result.engine}"
+        # the check cost every stage tried, not just the winning one
+        result.seconds = sum(attempt["seconds"] for attempt in attempts)
+    return JobResult(
+        index=job.index,
+        block=job.block,
+        module_name=job.module.name,
+        vunit_name=job.vunit.name,
+        assert_name=job.assert_name,
+        category=job.category,
+        result=result,
+        cached=False,
+    )

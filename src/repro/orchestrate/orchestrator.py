@@ -1,0 +1,184 @@
+"""The campaign orchestrator: plan → cache-partition → execute → aggregate.
+
+``CampaignOrchestrator`` ties the subsystem together:
+
+1. :func:`~repro.orchestrate.planner.plan_campaign` walks the blocks
+   once and emits the ordered :class:`CheckJob` list;
+2. if a :class:`~repro.orchestrate.cache.ResultCache` is attached, each
+   job's fingerprint is looked up first — hits replay their stored
+   verdict, misses stay on the run list;
+3. the executor (serial by default, process-parallel opt-in) streams
+   :class:`JobResult`\\ s back in plan order;
+4. results — cached and fresh interleaved back into plan order — are
+   aggregated incrementally into the legacy :class:`CampaignReport`:
+   per-block property counters, per-block distinct-defective-module bug
+   counts (no post-hoc rescan), and the ``progress`` callback fired
+   once per property in plan order.
+
+Because aggregation consumes results strictly in plan order, every
+executor produces a byte-identical report; ``report.stats`` carries the
+orchestration counters (jobs, cache hits/misses, executor name) on top.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.campaign import BlockSummary, CampaignReport, PropertyResult
+from ..formal.engine import CheckResult, FAIL
+from .cache import ResultCache
+from .executor import SerialExecutor
+from .job import CheckJob, EngineConfig
+from .planner import Blocks, CampaignPlan, plan_campaign
+
+Progress = Optional[Callable[[str], None]]
+
+
+class CampaignOrchestrator:
+    """Runs a formal campaign as a scheduled job graph.
+
+    ``engines`` is the per-job engine portfolio (a tuple of
+    :class:`EngineConfig`; one entry = single engine, the default
+    single ``auto`` config reproduces the legacy behaviour).
+    ``executor`` is any object with ``name`` and ``map(jobs)`` yielding
+    results in plan order.  ``cache`` is an optional
+    :class:`ResultCache`; pass one to make reruns incremental.
+    """
+
+    #: default per-job budget limits, matching the legacy
+    #: ``FormalCampaign`` default ``budget_factory`` — generous enough
+    #: for every leaf problem, trips (TIMEOUT) only on genuinely
+    #: oversized cones instead of running unbounded
+    DEFAULT_ENGINES = (
+        EngineConfig(sat_conflicts=200_000, bdd_nodes=2_000_000),
+    )
+
+    def __init__(self, blocks: Blocks,
+                 engines: Optional[Tuple[EngineConfig, ...]] = None,
+                 executor=None,
+                 cache: Optional[ResultCache] = None,
+                 lint: bool = True) -> None:
+        self.blocks = [(name, list(mods)) for name, mods in blocks]
+        self.engines = tuple(engines) if engines else self.DEFAULT_ENGINES
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.lint = lint
+
+    # ------------------------------------------------------------------
+    def plan(self) -> CampaignPlan:
+        return plan_campaign(self.blocks, self.engines, lint=self.lint)
+
+    # ------------------------------------------------------------------
+    def run(self, progress: Progress = None) -> CampaignReport:
+        started = time.perf_counter()
+        plan = self.plan()
+
+        report = CampaignReport()
+        report.lint_issues = list(plan.lint_issues)
+        for block_name in plan.block_order:
+            report.blocks[block_name] = BlockSummary(
+                block_name, submodules=plan.submodules[block_name]
+            )
+
+        cached_results, to_run = self._partition(plan)
+        executed = self.executor.map(to_run)
+
+        fail_modules: Dict[str, Set[str]] = {}
+        fresh_modules: Set[str] = {job.module.name for job in to_run}
+        try:
+            for job in plan.jobs:
+                cached = job.index in cached_results
+                if cached:
+                    result = cached_results[job.index]
+                else:
+                    job_result = next(executed, None)
+                    if job_result is None:
+                        raise RuntimeError(
+                            f"executor {self.executor.name!r} broke the "
+                            f"ordering contract: ran out of results "
+                            f"before job {job.index}"
+                        )
+                    if job_result.index != job.index:
+                        raise RuntimeError(
+                            f"executor {self.executor.name!r} broke the "
+                            f"ordering contract: expected job "
+                            f"{job.index}, got {job_result.index}"
+                        )
+                    result = job_result.result
+                    if self.cache is not None:
+                        self.cache.store(job.fingerprint, result)
+                self._record(report, job, result, cached, fail_modules,
+                             progress)
+            # drive the executor to completion: lets it release its
+            # workers gracefully, and catches over-yielding executors
+            leftover = next(executed, None)
+            if leftover is not None:
+                raise RuntimeError(
+                    f"executor {self.executor.name!r} broke the "
+                    f"ordering contract: yielded result "
+                    f"{leftover.index} beyond the last job"
+                )
+        finally:
+            # shut the executor down deterministically (a parallel
+            # pool must not keep churning after a failed run)...
+            close = getattr(executed, "close", None)
+            if close is not None:
+                close()
+            # ...and persist whatever completed, even when a job blows
+            # up mid-campaign — that's what an incremental retry reuses
+            if self.cache is not None:
+                self.cache.flush()
+        report.seconds = time.perf_counter() - started
+        report.stats = {
+            "executor": self.executor.name,
+            "engines": [config.method for config in self.engines],
+            "jobs": plan.total_jobs,
+            "cache_hits": len(cached_results),
+            "cache_misses": len(to_run) if self.cache is not None else 0,
+            "modules_checked": sorted(fresh_modules),
+            "modules_replayed": sorted(
+                set(plan.modules_planned()) - fresh_modules
+            ),
+        }
+        return report
+
+    # ------------------------------------------------------------------
+    def _partition(self, plan: CampaignPlan
+                   ) -> Tuple[Dict[int, CheckResult], List[CheckJob]]:
+        """Split the plan into cache hits and jobs that must run."""
+        if self.cache is None:
+            return {}, list(plan.jobs)
+        cached: Dict[int, CheckResult] = {}
+        to_run: List[CheckJob] = []
+        design_cache: dict = {}
+        for job in plan.jobs:
+            result = self.cache.lookup(job.fingerprint, job, design_cache)
+            if result is not None:
+                cached[job.index] = result
+            else:
+                to_run.append(job)
+        return cached, to_run
+
+    @staticmethod
+    def _record(report: CampaignReport, job: CheckJob, result: CheckResult,
+                cached: bool, fail_modules: Dict[str, Set[str]],
+                progress: Progress) -> None:
+        record = PropertyResult(
+            block=job.block,
+            module_name=job.module.name,
+            vunit_name=job.vunit.name,
+            assert_name=job.assert_name,
+            category=job.category,
+            result=result,
+            cached=cached,
+        )
+        report.results.append(record)
+        summary = report.blocks[job.block]
+        summary.add(job.category)
+        if result.status == FAIL:
+            defective = fail_modules.setdefault(job.block, set())
+            defective.add(job.module.name)
+            summary.bugs = len(defective)
+        if progress is not None:
+            progress(f"{record.qualified_name}: {result.status.upper()}")

@@ -1,0 +1,96 @@
+"""Campaign planning: walk the chip once, emit a flat job list.
+
+The planner replaces the old triple-nested loop inside
+``FormalCampaign.run`` (blocks → modules → vunits → asserts) with a
+single pass that scopes every module, lints the Verifiable RTL,
+generates the stereotype vunits, and materialises one :class:`CheckJob`
+per asserted property.  The resulting :class:`CampaignPlan` is the
+orchestrator's ground truth: job order *is* report order, whatever
+executor later runs the jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.leaf import ScopeEntry, classify
+from ..core.stereotypes import stereotype_vunits
+from ..rtl.lint import LintIssue, lint_verifiable
+from ..rtl.module import Module
+from ..rtl.verilog import emit_module
+from .job import (
+    CheckJob, EngineConfig, engines_digest, fingerprint_digests,
+    text_digest,
+)
+
+Blocks = Sequence[Tuple[str, Sequence[Module]]]
+
+
+@dataclass
+class CampaignPlan:
+    """Everything the orchestrator needs to run and aggregate a campaign."""
+
+    jobs: List[CheckJob] = field(default_factory=list)
+    lint_issues: List[LintIssue] = field(default_factory=list)
+    #: block name -> number of in-scope leaf modules (Table 2 column)
+    submodules: Dict[str, int] = field(default_factory=dict)
+    #: blocks in walk order (blocks with zero in-scope modules included)
+    block_order: List[str] = field(default_factory=list)
+    #: scoping decisions for modules excluded from the formal scope
+    skipped: List[ScopeEntry] = field(default_factory=list)
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.jobs)
+
+    def modules_planned(self) -> List[str]:
+        """Distinct module names with at least one job, in plan order."""
+        seen: Dict[str, None] = {}
+        for job in self.jobs:
+            seen.setdefault(job.module.name, None)
+        return list(seen)
+
+
+def plan_campaign(blocks: Blocks, engines: Tuple[EngineConfig, ...],
+                  lint: bool = True) -> CampaignPlan:
+    """Walk ``blocks`` once and produce the flat, ordered job list.
+
+    Scoping, lint order, and job order exactly mirror the legacy
+    serial walk, so a serial replay of the plan reproduces the old
+    ``FormalCampaign`` report byte for byte.
+    """
+    plan = CampaignPlan()
+    engines_text = engines_digest(engines)
+    index = 0
+    for block_name, modules in blocks:
+        if block_name not in plan.submodules:
+            plan.block_order.append(block_name)
+            plan.submodules[block_name] = 0
+        for module in modules:
+            entry = classify(module)
+            if not entry.in_scope:
+                plan.skipped.append(entry)
+                continue
+            plan.submodules[block_name] += 1
+            if lint:
+                plan.lint_issues.extend(lint_verifiable(module))
+            module_digest = text_digest(emit_module(module))
+            for vunit in stereotype_vunits(module):
+                vunit_digest = text_digest(vunit.emit())
+                for assert_name, _ in vunit.asserted():
+                    plan.jobs.append(CheckJob(
+                        index=index,
+                        block=block_name,
+                        module=module,
+                        vunit=vunit,
+                        assert_name=assert_name,
+                        category=vunit.category,
+                        engines=engines,
+                        fingerprint=fingerprint_digests(
+                            module_digest, vunit_digest, assert_name,
+                            engines_text
+                        ),
+                    ))
+                    index += 1
+    return plan

@@ -62,6 +62,77 @@ class TestFormalCampaign:
         assert "101" in summary and "passed" in summary
 
 
+class TestCampaignTimeouts:
+    """A campaign containing timed-out properties (starved budgets)."""
+
+    @pytest.fixture(scope="class")
+    def starved_report(self):
+        chip = ComponentChip(only_blocks=["C"])
+        blocks = [("C", chip.blocks[0][1][:3])]
+        campaign = FormalCampaign(
+            blocks,
+            budget_factory=lambda: ResourceBudget(sat_conflicts=0,
+                                                  bdd_nodes=0),
+        )
+        return campaign.run()
+
+    def test_timeouts_reported_not_failed(self, starved_report):
+        timeouts = starved_report.by_status("timeout")
+        assert timeouts, "starved budgets should time properties out"
+        assert not starved_report.all_passed
+        assert starved_report.by_status("fail") == []
+        for record in timeouts:
+            assert record.result.timed_out
+            assert record.result.trace is None
+
+    def test_timeouts_still_counted_per_category(self, starved_report):
+        """Table 2 counts every checked property, whatever its status."""
+        summary = starved_report.blocks["C"]
+        assert summary.total == starved_report.total_properties
+        counts = starved_report.counts_by_category()
+        assert (summary.p0, summary.p1, summary.p2) == \
+            (counts["P0"], counts["P1"], counts["P2"])
+
+    def test_timeouts_are_not_bugs(self, starved_report):
+        """Only FAIL verdicts attribute logic bugs; a timed-out check is
+        inconclusive and must not inflate the bug column."""
+        assert starved_report.blocks["C"].bugs == 0
+        assert starved_report.distinct_bug_modules() == []
+
+    def test_status_summary_mentions_timeouts(self, starved_report):
+        summary = format_status_summary(starved_report)
+        timeouts = len(starved_report.by_status("timeout"))
+        assert f"{timeouts} timed out" in summary
+
+
+class TestProgressCallback:
+    def test_one_call_per_property_in_plan_order(self):
+        chip = ComponentChip(only_blocks=["C"])
+        blocks = [("C", chip.blocks[0][1][:3])]
+        campaign = FormalCampaign(blocks, budget_factory=_budget)
+        lines = []
+        report = campaign.run(progress=lines.append)
+        assert len(lines) == report.total_properties
+        assert lines == [
+            f"{r.qualified_name}: {r.result.status.upper()}"
+            for r in report.results
+        ]
+
+    def test_order_stable_across_executors(self):
+        from repro.orchestrate import ParallelExecutor
+        chip = ComponentChip(only_blocks=["C"])
+        blocks = [("C", chip.blocks[0][1][:3])]
+        serial_lines, parallel_lines = [], []
+        FormalCampaign(blocks, budget_factory=_budget).run(
+            progress=serial_lines.append
+        )
+        FormalCampaign(
+            blocks, budget_factory=_budget,
+            executor=ParallelExecutor(processes=2),
+        ).run(progress=parallel_lines.append)
+        assert serial_lines == parallel_lines
+
+
 class TestSimulationCampaign:
     @pytest.fixture(scope="class")
     def findings(self):

@@ -1,0 +1,428 @@
+"""The campaign orchestrator: planner, executors, engine portfolios,
+and the incremental result cache."""
+
+import json
+
+import pytest
+
+from repro.chip import ComponentChip
+from repro.core.campaign import BlockSummary, FormalCampaign
+from repro.core.report import format_table2
+from repro.formal.budget import ResourceBudget
+from repro.formal.engine import (
+    CheckResult, ModelChecker, PASS, register_engine, registered_engines,
+)
+from repro.formal.engine import _ENGINES  # test-only registry cleanup
+from repro.orchestrate import (
+    CampaignOrchestrator, EngineConfig, ParallelExecutor, ResultCache,
+    SerialExecutor, job_fingerprint, plan_campaign, portfolio,
+    run_check_job,
+)
+
+
+def _budget():
+    return ResourceBudget(sat_conflicts=500_000, bdd_nodes=5_000_000)
+
+
+def _engines(**overrides):
+    overrides.setdefault("sat_conflicts", 500_000)
+    overrides.setdefault("bdd_nodes", 5_000_000)
+    return (EngineConfig(**overrides),)
+
+
+@pytest.fixture(scope="module")
+def block_c():
+    return ComponentChip(only_blocks=["C"]).blocks
+
+
+@pytest.fixture(scope="module")
+def small_blocks():
+    """First four modules of block C — enough structure, fast checks."""
+    chip = ComponentChip(only_blocks=["C"])
+    return [("C", chip.blocks[0][1][:4])]
+
+
+def _buggy_small_blocks():
+    """Same four modules with the B2 defect seeded (touches C00 only)."""
+    chip = ComponentChip(defects={"B2"}, only_blocks=["C"])
+    return [("C", chip.blocks[0][1][:4])]
+
+
+class LossyExecutor(SerialExecutor):
+    """Contract-breaking executor: silently drops the last job."""
+
+    name = "lossy"
+
+    def map(self, jobs):
+        jobs = list(jobs)
+        return super().map(jobs[:-1])
+
+
+class TestPlanner:
+    def test_one_job_per_assertion(self, block_c):
+        plan = plan_campaign(block_c, _engines())
+        assert plan.total_jobs == 101
+        assert plan.block_order == ["C"]
+        assert plan.submodules == {"C": 13}
+        assert [job.index for job in plan.jobs] == list(range(101))
+        assert len(plan.modules_planned()) == 13
+
+    def test_jobs_are_module_contiguous(self, block_c):
+        """The planner emits each module's jobs as one contiguous run,
+        so executors can reuse one elaborated design per module."""
+        plan = plan_campaign(block_c, _engines())
+        seen = []
+        for job in plan.jobs:
+            if not seen or seen[-1] != job.module.name:
+                seen.append(job.module.name)
+        assert len(seen) == len(set(seen))
+
+    def test_fingerprints_distinct_per_job(self, block_c):
+        plan = plan_campaign(block_c, _engines())
+        fingerprints = [job.fingerprint for job in plan.jobs]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_skipped_modules_recorded(self, block_c):
+        plan = plan_campaign(block_c, _engines())
+        assert all(entry.in_scope is False for entry in plan.skipped)
+
+
+class TestFingerprint:
+    def test_stable_for_identical_input(self, small_blocks):
+        plan_a = plan_campaign(small_blocks, _engines())
+        plan_b = plan_campaign(small_blocks, _engines())
+        assert [j.fingerprint for j in plan_a.jobs] == \
+            [j.fingerprint for j in plan_b.jobs]
+
+    def test_rtl_edit_changes_fingerprint(self, small_blocks):
+        golden = plan_campaign(small_blocks, _engines())
+        buggy = plan_campaign(_buggy_small_blocks(), _engines())
+        changed = {
+            j.fingerprint for j in golden.jobs if j.module.name == "C00_fsmctl"
+        } ^ {
+            j.fingerprint for j in buggy.jobs if j.module.name == "C00_fsmctl"
+        }
+        same = [
+            (a.fingerprint, b.fingerprint)
+            for a, b in zip(golden.jobs, buggy.jobs)
+            if a.module.name != "C00_fsmctl"
+        ]
+        assert changed, "defect did not change the touched module's keys"
+        assert all(a == b for a, b in same), \
+            "defect changed an untouched module's keys"
+
+    def test_vunit_edit_changes_fingerprint(self, small_blocks):
+        module = small_blocks[0][1][0]
+        from repro.core.stereotypes import soundness_vunit
+        unit = soundness_vunit(module)
+        name, _ = unit.asserted()[0]
+        before = job_fingerprint(module, unit, name, _engines())
+        unit.comment = "edited by a designer"
+        after = job_fingerprint(module, unit, name, _engines())
+        assert before != after
+
+    def test_engine_config_changes_fingerprint(self, small_blocks):
+        module = small_blocks[0][1][0]
+        from repro.core.stereotypes import soundness_vunit
+        unit = soundness_vunit(module)
+        name, _ = unit.asserted()[0]
+        auto = job_fingerprint(module, unit, name, _engines())
+        kind = job_fingerprint(module, unit, name, _engines(method="kind"))
+        tighter = job_fingerprint(module, unit, name,
+                                  _engines(sat_conflicts=7))
+        assert len({auto, kind, tighter}) == 3
+
+
+class TestEngineRegistry:
+    def test_builtins_registered(self):
+        names = registered_engines()
+        for name in ("auto", "bmc", "kind", "bdd-forward", "bdd-backward",
+                     "bdd-combined", "pobdd"):
+            assert name in names
+        assert ModelChecker.METHODS == names
+
+    def test_register_and_dispatch_custom_engine(self, small_blocks):
+        @register_engine("always-green")
+        def _always_green(checker, options):
+            return CheckResult(checker.ts.name, PASS, "always-green")
+
+        try:
+            assert "always-green" in ModelChecker.METHODS
+            report = FormalCampaign(
+                small_blocks, method="always-green", budget_factory=_budget
+            ).run()
+            assert report.all_passed
+            assert all(r.result.engine == "always-green"
+                       for r in report.results)
+        finally:
+            _ENGINES.pop("always-green", None)
+        assert "always-green" not in ModelChecker.METHODS
+
+    def test_unknown_method_rejected(self, small_blocks):
+        plan = plan_campaign(small_blocks, _engines(method="quantum"))
+        with pytest.raises(ValueError, match="unknown method"):
+            run_check_job(plan.jobs[0])
+
+
+class TestExecutors:
+    def test_parallel_report_identical_to_serial(self, block_c):
+        serial = CampaignOrchestrator(
+            block_c, engines=_engines(), executor=SerialExecutor()
+        ).run()
+        parallel = CampaignOrchestrator(
+            block_c, engines=_engines(),
+            executor=ParallelExecutor(processes=2),
+        ).run()
+        assert format_table2(serial) == format_table2(parallel)
+        assert [
+            (r.qualified_name, r.result.status, r.result.engine,
+             r.result.depth)
+            for r in serial.results
+        ] == [
+            (r.qualified_name, r.result.status, r.result.engine,
+             r.result.depth)
+            for r in parallel.results
+        ]
+        assert serial.stats["executor"] == "serial"
+        assert parallel.stats["executor"] == "parallel"
+
+    def test_parallel_counterexamples_replay(self):
+        report = CampaignOrchestrator(
+            _buggy_small_blocks(), engines=_engines(),
+            executor=ParallelExecutor(processes=2),
+        ).run()
+        failures = report.failures_by_module()
+        assert set(failures) == {"C00_fsmctl"}
+        assert report.blocks["C"].bugs == 1
+        for record in failures["C00_fsmctl"]:
+            assert record.result.trace is not None
+            assert record.result.trace.replay()
+
+    def test_over_yielding_executor_rejected(self, small_blocks):
+        class EagerExecutor(SerialExecutor):
+            name = "eager"
+
+            def map(self, jobs):
+                results = list(super().map(jobs))
+                return iter(results + results[-1:])
+
+        orchestrator = CampaignOrchestrator(
+            small_blocks, engines=_engines(), executor=EagerExecutor()
+        )
+        with pytest.raises(RuntimeError, match="beyond the last job"):
+            orchestrator.run()
+
+    def test_all_hits_run_reports_effective_mode(self, tmp_path):
+        """A warm rerun where every job is cached never builds a pool;
+        the stats must say so rather than claim a parallel run."""
+        path = tmp_path / "results.json"
+        blocks = _buggy_small_blocks()
+        FormalCampaign(blocks, budget_factory=_budget,
+                       cache=ResultCache(path)).run()
+        warm = FormalCampaign(
+            _buggy_small_blocks(), budget_factory=_budget,
+            cache=ResultCache(path),
+            executor=ParallelExecutor(processes=2),
+        ).run()
+        assert warm.stats["cache_misses"] == 0
+        assert warm.stats["executor"] == "parallel[serial-fallback]"
+
+    def test_same_name_distinct_modules_not_confused(self):
+        """Two distinct module objects sharing a name (a golden and a
+        patched variant in one plan) must each be checked against their
+        own elaboration — the design cache may not serve one the
+        other's."""
+        from repro.chip.specials import fsm_controller
+        from repro.rtl.inject import make_verifiable
+        golden = make_verifiable(fsm_controller("C00_fsmctl", buggy=False))
+        buggy = make_verifiable(fsm_controller("C00_fsmctl", buggy=True))
+        report = CampaignOrchestrator(
+            [("X", [golden, buggy])], engines=_engines()
+        ).run()
+        verdicts = {r.result.status for r in report.results}
+        assert "fail" in verdicts, \
+            "buggy variant was checked against the golden elaboration"
+
+    def test_out_of_order_executor_rejected(self, small_blocks):
+        class ShuffledExecutor(SerialExecutor):
+            name = "shuffled"
+
+            def map(self, jobs):
+                results = list(super().map(jobs))
+                return iter(results[::-1])
+
+        orchestrator = CampaignOrchestrator(
+            small_blocks, engines=_engines(), executor=ShuffledExecutor()
+        )
+        with pytest.raises(RuntimeError, match="ordering contract"):
+            orchestrator.run()
+
+    def test_short_yielding_executor_rejected(self, small_blocks):
+        orchestrator = CampaignOrchestrator(
+            small_blocks, engines=_engines(), executor=LossyExecutor()
+        )
+        with pytest.raises(RuntimeError, match="ran out of results"):
+            orchestrator.run()
+
+
+class TestEnginePortfolio:
+    def test_first_definitive_stage_wins(self, small_blocks):
+        # no methods -> the default kind -> bdd-combined -> pobdd ladder
+        engines = portfolio(sat_conflicts=500_000, bdd_nodes=5_000_000)
+        assert [config.method for config in engines] == \
+            ["kind", "bdd-combined", "pobdd"]
+        report = CampaignOrchestrator(small_blocks, engines=engines).run()
+        assert report.all_passed
+        for record in report.results:
+            assert record.result.engine == "portfolio:kind"
+            attempts = record.result.stats["portfolio"]
+            assert [a["engine"] for a in attempts] == ["kind"]
+
+    def test_falls_through_indefinitive_stage(self, small_blocks):
+        """BMC can only refute within its bound — on a passing property
+        it returns UNKNOWN and the portfolio moves to the next stage."""
+        engines = (
+            EngineConfig(method="bmc", max_bound=2, sat_conflicts=500_000),
+            EngineConfig(method="bdd-combined", bdd_nodes=5_000_000),
+        )
+        report = CampaignOrchestrator(small_blocks, engines=engines).run()
+        assert report.all_passed
+        for record in report.results:
+            assert record.result.engine == "portfolio:bdd-combined"
+            attempts = record.result.stats["portfolio"]
+            assert [a["status"] for a in attempts] == ["unknown", "pass"]
+
+    def test_portfolio_through_facade(self, small_blocks):
+        engines = portfolio("kind", "bdd-combined",
+                            sat_conflicts=500_000, bdd_nodes=5_000_000)
+        report = FormalCampaign(small_blocks, engines=engines).run()
+        assert report.all_passed
+        assert report.stats["engines"] == ["kind", "bdd-combined"]
+
+
+class TestResultCache:
+    def _run(self, blocks, cache_path, **kwargs):
+        campaign = FormalCampaign(blocks, budget_factory=_budget,
+                                  cache=ResultCache(cache_path), **kwargs)
+        return campaign.run()
+
+    def test_cold_then_warm(self, small_blocks, tmp_path):
+        path = tmp_path / "results.json"
+        cold = self._run(small_blocks, path)
+        warm = self._run(small_blocks, path)
+        assert cold.stats["cache_hits"] == 0
+        assert cold.stats["cache_misses"] == cold.total_properties
+        assert warm.stats["cache_hits"] == warm.total_properties
+        assert warm.stats["cache_misses"] == 0
+        assert all(r.cached for r in warm.results)
+        assert format_table2(cold) == format_table2(warm)
+
+    def test_rtl_edit_misses_only_touched_module(self, small_blocks,
+                                                 tmp_path):
+        path = tmp_path / "results.json"
+        self._run(small_blocks, path)
+        eco = self._run(_buggy_small_blocks(), path)
+        assert eco.stats["modules_checked"] == ["C00_fsmctl"]
+        assert len(eco.stats["modules_replayed"]) == 3
+        assert eco.stats["cache_hits"] > 0
+        assert set(eco.failures_by_module()) == {"C00_fsmctl"}
+
+    def test_engine_config_change_misses(self, small_blocks, tmp_path):
+        path = tmp_path / "results.json"
+        self._run(small_blocks, path)
+        rerun = self._run(small_blocks, path, method="bdd-combined")
+        assert rerun.stats["cache_hits"] == 0
+        assert rerun.stats["cache_misses"] == rerun.total_properties
+        assert rerun.all_passed
+
+    def test_cached_fail_replays_counterexample(self, tmp_path):
+        path = tmp_path / "results.json"
+        self._run(_buggy_small_blocks(), path)
+        warm = self._run(_buggy_small_blocks(), path)
+        assert warm.stats["cache_misses"] == 0
+        failures = warm.failures_by_module()
+        assert set(failures) == {"C00_fsmctl"}
+        for record in failures["C00_fsmctl"]:
+            assert record.cached
+            assert record.result.trace is not None
+            assert record.result.trace.replay()
+
+    def test_corrupted_file_degrades_to_miss(self, small_blocks, tmp_path):
+        path = tmp_path / "results.json"
+        cold = self._run(small_blocks, path)
+        path.write_text("{ not json at all")
+        rerun = self._run(small_blocks, path)
+        assert rerun.stats["cache_hits"] == 0
+        assert rerun.stats["cache_misses"] == rerun.total_properties
+        assert format_table2(rerun) == format_table2(cold)
+        # the rerun rewrote a valid store
+        warm = self._run(small_blocks, path)
+        assert warm.stats["cache_misses"] == 0
+
+    def test_tampered_entry_never_flips_verdict(self, small_blocks,
+                                                tmp_path):
+        path = tmp_path / "results.json"
+        cold = self._run(small_blocks, path)
+        store = json.loads(path.read_text())
+        entries = store["entries"]
+        victim = next(iter(entries))
+        entries[victim]["status"] = "definitely-bogus"
+        path.write_text(json.dumps(store))
+        rerun = self._run(small_blocks, path)
+        assert rerun.stats["cache_misses"] == 1
+        assert rerun.stats["cache_hits"] == rerun.total_properties - 1
+        assert format_table2(rerun) == format_table2(cold)
+        assert rerun.all_passed
+
+    def test_completed_work_flushed_on_mid_run_failure(self, small_blocks,
+                                                       tmp_path):
+        """A crash mid-campaign must not discard verdicts already
+        computed — the incremental retry reuses them."""
+        path = tmp_path / "results.json"
+        orchestrator = CampaignOrchestrator(
+            small_blocks, engines=_engines(), executor=LossyExecutor(),
+            cache=ResultCache(path),
+        )
+        with pytest.raises(RuntimeError, match="ordering contract"):
+            orchestrator.run()
+        retry = self._run(small_blocks, path)
+        assert retry.stats["cache_hits"] == retry.total_properties - 1
+        assert retry.stats["cache_misses"] == 1
+        assert retry.all_passed
+
+    def test_fail_without_trace_is_a_miss(self, small_blocks, tmp_path):
+        """A cached FAIL whose trace is missing cannot be validated, so
+        it must be re-checked — never replayed."""
+        path = tmp_path / "results.json"
+        self._run(_buggy_small_blocks(), path)
+        store = json.loads(path.read_text())
+        tampered = 0
+        for entry in store["entries"].values():
+            if entry["status"] == "fail":
+                entry["trace"] = None
+                tampered += 1
+        assert tampered > 0
+        path.write_text(json.dumps(store))
+        rerun = self._run(_buggy_small_blocks(), path)
+        assert rerun.stats["cache_misses"] == tampered
+        assert set(rerun.failures_by_module()) == {"C00_fsmctl"}
+        for record in rerun.failures_by_module()["C00_fsmctl"]:
+            assert not record.cached
+            assert record.result.trace is not None
+
+
+class TestBlockSummaryAdd:
+    def test_known_categories_count(self):
+        summary = BlockSummary("A")
+        for category in ("P0", "P1", "P2", "P3"):
+            summary.add(category)
+        assert (summary.p0, summary.p1, summary.p2, summary.p3) == \
+            (1, 1, 1, 1)
+        assert summary.total == 4
+
+    @pytest.mark.parametrize("category", ["P4", "p0", "bugs", "", "total"])
+    def test_unknown_category_rejected(self, category):
+        summary = BlockSummary("A")
+        with pytest.raises(ValueError, match="unknown property category"):
+            summary.add(category)
+        assert summary.total == 0
