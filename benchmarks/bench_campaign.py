@@ -1,15 +1,24 @@
 #!/usr/bin/env python
-"""Campaign orchestrator smoke benchmark: serial vs parallel vs warm cache.
+"""Campaign orchestrator smoke benchmark: executors, cache, and resume.
 
-Runs the same chip campaign three ways —
+Runs the same chip campaign several ways —
 
 1. serial executor, cold (the legacy baseline),
-2. multiprocessing executor, cold,
-3. serial executor against a warm result cache (the ECO-rerun case),
+2. chunked multiprocessing pool (``ParallelExecutor``), cold,
+3. work-stealing pool (``WorkStealingExecutor``), cold,
+4. serial executor against a warm result cache (the ECO-rerun case),
+5. checkpointed cold run, then a resume from a half-truncated journal
+   (the killed-campaign case: half the jobs replay, half execute),
 
-verifies all three produce byte-identical Table 2 output, and writes a
-perf record to ``benchmarks/out/BENCH_campaign.json`` so future PRs
-have a trajectory to beat.
+verifies every run produces a byte-identical campaign outcome
+(``CampaignReport.canonical_bytes``), and writes a perf record to
+``benchmarks/out/BENCH_campaign.json`` so future PRs have a trajectory
+to beat.
+
+The pool executors default to ``max(2, cpu_count)`` workers so a real
+pool is exercised even on a 1-CPU container (where CPU-count defaults
+would silently fall back to serial and measure nothing); pass ``--jobs``
+to override.
 
 Run:  python benchmarks/bench_campaign.py [--full] [--blocks A,C]
                                           [--jobs N]
@@ -29,24 +38,34 @@ sys.path.insert(
 
 from repro.chip import ComponentChip                      # noqa: E402
 from repro.core.campaign import FormalCampaign            # noqa: E402
-from repro.core.report import format_table2               # noqa: E402
-from repro.formal.budget import ResourceBudget            # noqa: E402
 from repro.orchestrate import (                           # noqa: E402
-    ParallelExecutor, ResultCache,
+    CampaignCheckpoint, ParallelExecutor, ResultCache,
+    WorkStealingExecutor,
 )
 
 OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_campaign.json"
 
 
 def _budget():
+    from repro.formal.budget import ResourceBudget
     return ResourceBudget(sat_conflicts=1_000_000, bdd_nodes=10_000_000)
 
 
-def _timed_run(blocks, **kwargs):
+def _timed_run(blocks, resume=False, **kwargs):
     campaign = FormalCampaign(blocks, budget_factory=_budget, **kwargs)
     started = time.perf_counter()
-    report = campaign.run()
+    report = campaign.run(resume=resume)
     return report, time.perf_counter() - started
+
+
+def _truncate_journal(path, keep_fraction):
+    """Keep the header plus the first ``keep_fraction`` of the entries —
+    the on-disk state of a campaign killed partway through."""
+    lines = pathlib.Path(path).read_text().splitlines()
+    header, entries = lines[0], lines[1:]
+    kept = entries[: int(len(entries) * keep_fraction)]
+    pathlib.Path(path).write_text("\n".join([header] + kept) + "\n")
+    return len(kept)
 
 
 def main():
@@ -56,67 +75,120 @@ def main():
     parser.add_argument("--blocks", default="A,C",
                         help="comma-separated block subset (default A,C)")
     parser.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for the parallel run "
-                             "(default: CPU count)")
+                        help="worker processes for the pool runs "
+                             "(default: max(2, CPU count))")
     args = parser.parse_args()
 
     only = None if args.full else args.blocks.split(",")
     chip = ComponentChip(only_blocks=only)
     scope = "full chip" if args.full else f"blocks {','.join(only)}"
+    workers = args.jobs or max(2, os.cpu_count() or 1)
 
-    print(f"campaign smoke benchmark over {scope}")
+    print(f"campaign smoke benchmark over {scope} "
+          f"({workers} pool workers)")
 
     serial_report, serial_s = _timed_run(chip.blocks)
-    print(f"  serial cold:  {serial_s:7.2f}s "
+    print(f"  serial cold:        {serial_s:7.2f}s "
           f"({serial_report.total_properties} properties)")
 
     parallel_report, parallel_s = _timed_run(
-        chip.blocks, executor=ParallelExecutor(processes=args.jobs)
+        chip.blocks, executor=ParallelExecutor(processes=workers)
     )
-    print(f"  parallel cold:{parallel_s:7.2f}s "
+    print(f"  parallel cold:      {parallel_s:7.2f}s "
           f"({parallel_report.stats['executor']})")
+
+    stealing_report, stealing_s = _timed_run(
+        chip.blocks, executor=WorkStealingExecutor(processes=workers)
+    )
+    print(f"  work-stealing cold: {stealing_s:7.2f}s "
+          f"({stealing_report.stats['executor']})")
 
     with tempfile.TemporaryDirectory(prefix="bench_cache_") as cache_dir:
         cache_path = os.path.join(cache_dir, "results.json")
         _timed_run(chip.blocks, cache=ResultCache(cache_path))
         warm_report, warm_s = _timed_run(chip.blocks,
                                          cache=ResultCache(cache_path))
-    print(f"  warm cache:   {warm_s:7.2f}s "
+    print(f"  warm cache:         {warm_s:7.2f}s "
           f"({warm_report.stats['cache_hits']} hits, "
           f"{warm_report.stats['cache_misses']} misses)")
 
-    tables_identical = (
-        format_table2(serial_report) == format_table2(parallel_report)
-        == format_table2(warm_report)
+    with tempfile.TemporaryDirectory(prefix="bench_ckpt_") as ckpt_dir:
+        journal_path = os.path.join(ckpt_dir, "campaign.journal")
+        checkpointed_report, checkpointed_s = _timed_run(
+            chip.blocks, checkpoint=CampaignCheckpoint(journal_path)
+        )
+        print(f"  checkpointed cold:  {checkpointed_s:7.2f}s "
+              f"(journaling overhead "
+              f"{checkpointed_s - serial_s:+.2f}s vs serial)")
+        kept = _truncate_journal(journal_path, 0.5)
+        resumed_report, resumed_s = _timed_run(
+            chip.blocks, checkpoint=CampaignCheckpoint(journal_path),
+            resume=True,
+        )
+        print(f"  resumed half-way:   {resumed_s:7.2f}s "
+              f"({resumed_report.stats['journal_replayed']} of "
+              f"{resumed_report.total_properties} replayed from "
+              f"{kept} journal entries)")
+
+    reports = {
+        "serial": serial_report, "parallel": parallel_report,
+        "work_stealing": stealing_report, "warm": warm_report,
+        "checkpointed": checkpointed_report, "resumed": resumed_report,
+    }
+    reference = serial_report.canonical_bytes()
+    mismatched = [name for name, report in reports.items()
+                  if report.canonical_bytes() != reference]
+    from repro.core.report import format_table2
+    tables_identical = all(
+        format_table2(report) == format_table2(serial_report)
+        for report in reports.values()
     )
-    if not tables_identical:
-        print("  WARNING: executors disagreed on Table 2 output!")
+    outcomes_identical = not mismatched
+    if not tables_identical or not outcomes_identical:
+        print(f"  WARNING: executors disagreed! mismatched={mismatched} "
+              f"tables_identical={tables_identical}")
 
     record = {
         "benchmark": "campaign_orchestrator",
         "scope": scope,
         "properties": serial_report.total_properties,
         "cpu_count": os.cpu_count(),
+        "pool_workers": workers,
         "parallel_mode": parallel_report.stats["executor"],
+        "work_stealing_mode": stealing_report.stats["executor"],
         "seconds": {
             "serial_cold": round(serial_s, 3),
             "parallel_cold": round(parallel_s, 3),
+            "work_stealing_cold": round(stealing_s, 3),
             "warm_cache": round(warm_s, 3),
+            "checkpointed_cold": round(checkpointed_s, 3),
+            "resumed_half": round(resumed_s, 3),
         },
         "speedup": {
             "parallel_vs_serial": round(serial_s / parallel_s, 2),
+            "work_stealing_vs_serial": round(serial_s / stealing_s, 2),
             "warm_vs_serial": round(serial_s / warm_s, 2),
+            "resumed_half_vs_cold": round(
+                checkpointed_s / resumed_s, 2
+            ),
         },
         "cache": {
             "hits": warm_report.stats["cache_hits"],
             "misses": warm_report.stats["cache_misses"],
         },
+        "resume": {
+            "journal_replayed": resumed_report.stats["journal_replayed"],
+            "checkpoint_overhead_seconds": round(
+                checkpointed_s - serial_s, 3
+            ),
+        },
         "tables_identical": tables_identical,
+        "outcomes_identical": outcomes_identical,
     }
     OUT_PATH.parent.mkdir(exist_ok=True)
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"  perf record -> {OUT_PATH}")
-    return 0 if tables_identical else 1
+    return 0 if tables_identical and outcomes_identical else 1
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ benchmarks consume.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -135,6 +136,39 @@ class CampaignReport:
         defective modules, the paper's bug-counting unit)."""
         return sorted(self.failures_by_module())
 
+    def canonical_bytes(self) -> bytes:
+        """Deterministic serialization of the campaign *outcome*.
+
+        Covers every property verdict (identity, category, status,
+        engine, depth, counterexample input frames), every
+        block-summary row, and the lint findings — everything a
+        downstream consumer acts on — while excluding wall-clock timing
+        and run provenance (``seconds``, ``stats``, per-result engine
+        timings, the ``cached`` flag).  Two runs of the same campaign
+        are byte-identical here whatever executor, cache state, or
+        checkpoint-resume path produced them; the orchestrator's tests
+        enforce exactly that.
+        """
+        results = []
+        for record in self.results:
+            trace = record.result.trace
+            frames = None if trace is None else trace.canonical_frames()
+            results.append([
+                record.block, record.module_name, record.vunit_name,
+                record.assert_name, record.category,
+                record.result.status, record.result.engine,
+                record.result.depth, frames,
+            ])
+        blocks = [
+            [name, block.submodules, block.bugs,
+             block.p0, block.p1, block.p2, block.p3]
+            for name, block in sorted(self.blocks.items())
+        ]
+        lint = [repr(issue) for issue in self.lint_issues]
+        payload = {"results": results, "blocks": blocks, "lint": lint}
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
 
 class FormalCampaign:
     """Runs the formal flow over a chip's blocks.
@@ -154,10 +188,15 @@ class FormalCampaign:
     behaviour):
 
     - ``executor`` — a :class:`~repro.orchestrate.executor.SerialExecutor`
-      (default) or :class:`~repro.orchestrate.executor.ParallelExecutor`
+      (default), :class:`~repro.orchestrate.executor.ParallelExecutor`,
+      or :class:`~repro.orchestrate.executor.WorkStealingExecutor`
       (or anything honouring the results-in-plan-order contract);
     - ``cache`` — a :class:`~repro.orchestrate.cache.ResultCache` for
       incremental reruns;
+    - ``checkpoint`` — a
+      :class:`~repro.orchestrate.checkpoint.CampaignCheckpoint`
+      journaling completed jobs, so a killed campaign restarts with
+      ``run(resume=True)`` and replays only the unfinished remainder;
     - ``engines`` — an explicit engine portfolio (tuple of
       :class:`~repro.orchestrate.job.EngineConfig`), overriding
       ``method``/``max_k``/``budget_factory``.
@@ -167,7 +206,7 @@ class FormalCampaign:
                  method: str = "auto", max_k: int = 40,
                  budget_factory: Optional[Callable[[], ResourceBudget]] = None,
                  lint: bool = True, executor=None, cache=None,
-                 engines=None) -> None:
+                 checkpoint=None, engines=None) -> None:
         self.blocks = [(name, list(mods)) for name, mods in blocks]
         self.method = method
         self.max_k = max_k
@@ -177,11 +216,12 @@ class FormalCampaign:
         self.lint = lint
         self.executor = executor
         self.cache = cache
+        self.checkpoint = checkpoint
         self.engines = tuple(engines) if engines else None
 
     # ------------------------------------------------------------------
-    def run(self, progress: Optional[Callable[[str], None]] = None
-            ) -> CampaignReport:
+    def run(self, progress: Optional[Callable[[str], None]] = None,
+            resume: bool = False) -> CampaignReport:
         from ..orchestrate import CampaignOrchestrator, EngineConfig
 
         engines = self.engines
@@ -194,6 +234,7 @@ class FormalCampaign:
             engines=engines,
             executor=self.executor,
             cache=self.cache,
+            checkpoint=self.checkpoint,
             lint=self.lint,
         )
-        return orchestrator.run(progress)
+        return orchestrator.run(progress, resume=resume)

@@ -45,6 +45,17 @@ class Trace:
         return False
 
     # ------------------------------------------------------------------
+    def canonical_frames(self) -> List[List[tuple]]:
+        """Deterministic, JSON-able form of the input frames: per frame,
+        the ``(literal, bit)`` pairs in sorted order.  The one encoding
+        shared by the result cache, the checkpoint journal, and report
+        canonicalization — two equal traces always serialize equally."""
+        return [
+            sorted((int(lit), int(bit) & 1) for lit, bit in frame.items())
+            for frame in self.inputs_by_frame
+        ]
+
+    # ------------------------------------------------------------------
     def words_by_frame(self) -> List[Dict[str, int]]:
         """Word-level rendering using the design's port names."""
         blaster = self.ts.blaster

@@ -1,22 +1,64 @@
 """Job-based campaign orchestration.
 
 This package turns the paper's serial check-everything loop into a
-scheduled job graph:
+scheduled, restartable job graph:
 
 - :mod:`~repro.orchestrate.job` — :class:`CheckJob` (one property
   check: module + vunit + assertion + engine portfolio), content
   fingerprints, and the portfolio runner;
 - :mod:`~repro.orchestrate.planner` — one walk over the chip produces
   the flat, ordered job list;
-- :mod:`~repro.orchestrate.executor` — serial and multiprocessing
-  executors, both bound to the results-in-plan-order contract;
+- :mod:`~repro.orchestrate.executor` — serial, chunked-pool, and
+  work-stealing multiprocessing executors, all bound to the
+  results-in-plan-order contract;
 - :mod:`~repro.orchestrate.cache` — fingerprint-keyed on-disk result
   store for incremental (ECO-regression) reruns;
+- :mod:`~repro.orchestrate.checkpoint` — crash-safe journal of
+  completed jobs, enabling kill-and-resume of half-finished campaigns;
 - :mod:`~repro.orchestrate.orchestrator` — ties it together and
   aggregates the legacy :class:`~repro.core.campaign.CampaignReport`.
 
 ``FormalCampaign`` in :mod:`repro.core.campaign` is a thin façade over
 :class:`CampaignOrchestrator`, so existing call sites keep working.
+
+The executor contract
+---------------------
+
+An executor is any object with a ``name`` attribute and a ``map(jobs)``
+method that, given the planner's ordered :class:`CheckJob` sequence,
+yields exactly one :class:`JobResult` per job **in job-index order**,
+lazily (the orchestrator aggregates as results stream out).  The
+orchestrator detects and rejects under-yielding, over-yielding, and
+out-of-order executors; ``map``'s return value should also support
+``close()`` (generators do for free) so an aborted campaign can shut
+workers down deterministically.  ``tests/test_executor_contract.py``
+runs one parametrized battery — plan-order streaming, 0/1/many-job
+edge cases, mid-stream ``close()``, error propagation, contract-breach
+detection — against every shipped executor; a new (e.g. distributed)
+executor only has to join that parametrization to be certified.
+
+Checkpoint/resume
+-----------------
+
+Attach a :class:`CampaignCheckpoint` to journal every fresh result to
+disk the moment it streams out of the executor::
+
+    checkpoint = CampaignCheckpoint("campaign.journal")
+    orchestrator = CampaignOrchestrator(blocks, checkpoint=checkpoint)
+    orchestrator.run()                 # killed at job 1400 of 2600?
+    orchestrator.run(resume=True)      # replays 1400, runs 1200
+
+The journal is JSON-lines: a header binding it to the exact campaign
+(a digest over every job fingerprint in plan order, plus the package
+version), then one line per completed job carrying the result cache's
+serialized-result codec.  ``resume=True`` replays the journal's valid
+prefix — a torn final line from a hard kill is dropped, a mismatched
+or corrupt header discards the journal entirely and the campaign
+reruns from scratch — and the finished report's
+``CampaignReport.canonical_bytes()`` is byte-identical to an
+uninterrupted run.  Journaled FAILs revalidate their counterexample
+traces on replay, the same never-a-wrong-verdict rule the cache
+enforces.
 """
 
 from .job import (
@@ -24,15 +66,17 @@ from .job import (
     compile_job, job_fingerprint, portfolio, run_check_job,
 )
 from .planner import CampaignPlan, plan_campaign
-from .executor import ParallelExecutor, SerialExecutor
-from .cache import ResultCache
+from .executor import ParallelExecutor, SerialExecutor, WorkStealingExecutor
+from .cache import ResultCache, decode_result, encode_result
+from .checkpoint import CampaignCheckpoint, plan_digest
 from .orchestrator import CampaignOrchestrator
 
 __all__ = [
     "CheckJob", "DEFAULT_PORTFOLIO_METHODS", "EngineConfig", "JobResult",
     "compile_job", "job_fingerprint", "portfolio", "run_check_job",
     "CampaignPlan", "plan_campaign",
-    "ParallelExecutor", "SerialExecutor",
-    "ResultCache",
+    "ParallelExecutor", "SerialExecutor", "WorkStealingExecutor",
+    "ResultCache", "decode_result", "encode_result",
+    "CampaignCheckpoint", "plan_digest",
     "CampaignOrchestrator",
 ]

@@ -28,12 +28,23 @@ Safety rules, in order of importance:
 
 The store is a single JSON file, loaded on construction and written by
 :meth:`ResultCache.flush` (the orchestrator flushes once per run).
+Flush stages the payload in a uniquely-named temp file (pid + random
+suffix) before the atomic rename, so concurrent campaigns sharing one
+cache path can flush simultaneously: last writer wins, and the store on
+disk is always one writer's complete, valid JSON.
+
+The entry codec — :func:`encode_result` / :func:`decode_result` — is
+shared with the campaign checkpoint journal
+(:mod:`repro.orchestrate.checkpoint`): both persistence layers speak
+the same serialized-:class:`CheckResult` dialect and enforce the same
+FAIL-must-replay rule.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import uuid
 from typing import Dict, Optional
 
 from .. import __version__
@@ -42,6 +53,62 @@ from ..formal.trace import Trace
 from .job import CheckJob, compile_job
 
 _STATUSES = (PASS, FAIL, TIMEOUT, UNKNOWN)
+
+
+def encode_result(result: CheckResult) -> dict:
+    """Serialize one :class:`CheckResult` to a JSON-able entry (trace
+    input frames included for FAIL, so the counterexample can be
+    re-validated on the way back in)."""
+    trace_frames = None
+    if result.trace is not None:
+        trace_frames = result.trace.canonical_frames()
+    return {
+        "name": result.name,
+        "status": result.status,
+        "engine": result.engine,
+        "depth": result.depth,
+        "seconds": result.seconds,
+        "stats": _jsonable(result.stats),
+        "trace": trace_frames,
+    }
+
+
+def decode_result(entry: dict, job: CheckJob,
+                  design_cache: Optional[dict] = None) -> CheckResult:
+    """Rebuild a :class:`CheckResult` from a serialized entry.
+
+    Raises on anything suspicious — unknown status, FAIL without a
+    trace, a counterexample that no longer replays against the freshly
+    compiled transition system — so callers degrade to a re-check
+    instead of ever replaying a wrong verdict.
+    """
+    status = entry["status"]
+    if status not in _STATUSES:
+        raise ValueError(f"unknown cached status {status!r}")
+    trace = None
+    if status == FAIL:
+        frames = entry["trace"]
+        if not isinstance(frames, list) or not frames:
+            raise ValueError("cached FAIL without a trace")
+        ts = compile_job(job, design_cache)
+        trace = Trace(ts, [
+            {int(lit): int(bit) & 1 for lit, bit in frame}
+            for frame in frames
+        ])
+        if not trace.replay():
+            raise ValueError("cached counterexample failed replay")
+    stats = entry.get("stats")
+    stats = dict(stats) if isinstance(stats, dict) else {}
+    depth = entry.get("depth")
+    return CheckResult(
+        name=str(entry.get("name", job.qualified_name)),
+        status=status,
+        engine=str(entry.get("engine", "?")),
+        depth=int(depth) if depth is not None else None,
+        trace=trace,
+        stats=stats,
+        seconds=float(entry.get("seconds") or 0.0),
+    )
 
 
 class ResultCache:
@@ -72,17 +139,30 @@ class ResultCache:
                 if isinstance(value, dict)}
 
     def flush(self) -> None:
-        """Persist the store (atomic rename) if anything changed."""
+        """Persist the store (atomic rename) if anything changed.
+
+        The temp file name is unique per flush (pid + random suffix):
+        two campaigns sharing one cache path may flush concurrently,
+        and each rename atomically installs one writer's complete
+        store — never an interleaving of both.
+        """
         if not self._dirty:
             return
         payload = {"version": self.VERSION, "repro_version": __version__,
                    "entries": self._entries}
-        tmp_path = f"{self.path}.tmp"
+        tmp_path = f"{self.path}.tmp.{os.getpid()}.{uuid.uuid4().hex}"
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, default=repr)
-        os.replace(tmp_path, self.path)
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, default=repr)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
         self._dirty = False
 
     def __len__(self) -> int:
@@ -94,21 +174,7 @@ class ResultCache:
     # ------------------------------------------------------------------
     def store(self, fingerprint: str, result: CheckResult) -> None:
         """Record one result (trace frames included for FAIL)."""
-        trace_frames = None
-        if result.trace is not None:
-            trace_frames = [
-                sorted((int(lit), int(bit)) for lit, bit in frame.items())
-                for frame in result.trace.inputs_by_frame
-            ]
-        self._entries[fingerprint] = {
-            "name": result.name,
-            "status": result.status,
-            "engine": result.engine,
-            "depth": result.depth,
-            "seconds": result.seconds,
-            "stats": _jsonable(result.stats),
-            "trace": trace_frames,
-        }
+        self._entries[fingerprint] = encode_result(result)
         self._dirty = True
 
     # ------------------------------------------------------------------
@@ -121,43 +187,13 @@ class ResultCache:
         if entry is None:
             return None
         try:
-            return self._realise(entry, job, design_cache)
+            return decode_result(entry, job, design_cache)
         except Exception:
             # malformed entry, unknown signal, failed replay... — all
             # degrade to a miss and an eviction, never a wrong verdict
             self._entries.pop(fingerprint, None)
             self._dirty = True
             return None
-
-    def _realise(self, entry: dict, job: CheckJob,
-                 design_cache: Optional[dict]) -> Optional[CheckResult]:
-        status = entry["status"]
-        if status not in _STATUSES:
-            raise ValueError(f"unknown cached status {status!r}")
-        trace = None
-        if status == FAIL:
-            frames = entry["trace"]
-            if not isinstance(frames, list) or not frames:
-                raise ValueError("cached FAIL without a trace")
-            ts = compile_job(job, design_cache)
-            trace = Trace(ts, [
-                {int(lit): int(bit) & 1 for lit, bit in frame}
-                for frame in frames
-            ])
-            if not trace.replay():
-                raise ValueError("cached counterexample failed replay")
-        stats = entry.get("stats")
-        stats = dict(stats) if isinstance(stats, dict) else {}
-        depth = entry.get("depth")
-        return CheckResult(
-            name=str(entry.get("name", job.qualified_name)),
-            status=status,
-            engine=str(entry.get("engine", "?")),
-            depth=int(depth) if depth is not None else None,
-            trace=trace,
-            stats=stats,
-            seconds=float(entry.get("seconds") or 0.0),
-        )
 
 
 def _jsonable(value):

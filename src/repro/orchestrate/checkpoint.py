@@ -1,0 +1,208 @@
+"""Campaign checkpointing — a crash-safe journal of completed jobs.
+
+A killed campaign (ctrl-C, OOM, a pre-empted CI shard) must not forfeit
+the checks it already finished.  :class:`CampaignCheckpoint` journals
+every fresh :class:`~repro.orchestrate.job.JobResult` to disk *as it
+streams out of the executor*, so
+``CampaignOrchestrator.run(resume=True)`` can replay the journal's
+verified prefix and execute only the remainder — producing a report
+byte-identical (``CampaignReport.canonical_bytes``) to an uninterrupted
+run.
+
+Journal format (JSON lines, append-only)::
+
+    {"journal": 1, "repro_version": "...", "plan": "<digest>", "jobs": N}
+    {"index": 0, "fingerprint": "<job fp>", "result": {...}}
+    {"index": 1, "fingerprint": "<job fp>", "result": {...}}
+    ...
+
+- the **header** binds the journal to one exact campaign: the ``plan``
+  digest hashes every job fingerprint in plan order
+  (:func:`plan_digest`), so an edited design, changed engine portfolio,
+  or different block list invalidates the whole journal and the
+  campaign simply reruns from scratch;
+- each **entry** is one completed job, serialized with the result
+  cache's codec (:func:`~repro.orchestrate.cache.encode_result`) and
+  validated on the way back in with the same rules — a journaled FAIL
+  must carry a trace that still replays, anything suspicious degrades
+  to a re-check;
+- every ``record`` is flushed and fsync'd, so a SIGKILL loses at most
+  the entry being written.  :meth:`load` accepts the longest valid
+  prefix: a torn final line (the expected crash artifact) is dropped
+  along with anything after it, while a corrupt or mismatched header
+  discards the journal wholesale — degrading to a plain rerun, never a
+  wrong verdict.
+
+The journal is an intra-campaign artifact, complementary to
+:class:`~repro.orchestrate.cache.ResultCache`: the cache is
+fingerprint-keyed and shared across campaigns, the journal is
+plan-positional and private to one campaign run (and therefore cheap —
+no per-entry replay bookkeeping beyond the shared codec).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Sequence
+
+from .. import __version__
+from .job import CheckJob
+from .planner import CampaignPlan
+
+
+def plan_digest(plan_or_jobs) -> str:
+    """Content digest of a campaign plan: every job fingerprint, in
+    plan order.  Two campaigns share a digest iff they will run the
+    same checks in the same order."""
+    jobs: Sequence[CheckJob]
+    if isinstance(plan_or_jobs, CampaignPlan):
+        jobs = plan_or_jobs.jobs
+    else:
+        jobs = list(plan_or_jobs)
+    hasher = hashlib.sha256()
+    for job in jobs:
+        hasher.update(job.fingerprint.encode("ascii"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+class CampaignCheckpoint:
+    """Append-only journal of one campaign's completed job results."""
+
+    VERSION = 1
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._handle = None
+        #: byte offset of the end of the last loaded valid prefix;
+        #: start(resuming=True) truncates to it so a torn tail can
+        #: never be glued onto the resumed run's first entry
+        self._valid_end: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def load(self, digest: str, total_jobs: int) -> Dict[int, dict]:
+        """Read the journal's valid prefix for the campaign ``digest``.
+
+        Returns ``{job index: {"fingerprint": ..., "result": ...}}``.
+        A missing file, unreadable/mismatched header, or wrong job
+        count yields ``{}`` (plain rerun).  A malformed body line —
+        including the torn last line a kill mid-write leaves behind —
+        ends the prefix: it and every later line are ignored (and
+        truncated away when the journal is reopened for appending, so
+        the next entry starts on a clean line).
+        """
+        self._valid_end = None
+        try:
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return {}
+        entries: Dict[int, dict] = {}
+        header_seen = False
+        valid_end = 0
+        # offsets are tracked on the raw bytes (never on re-decoded
+        # text, whose length can differ around corrupt UTF-8), so the
+        # truncate in start(resuming=True) always lands exactly on the
+        # end of the last valid line
+        for raw_line in raw.splitlines(keepends=True):
+            if not raw_line.endswith(b"\n"):
+                break  # torn tail from a kill mid-write
+            try:
+                line = raw_line.decode("utf-8")
+            except UnicodeDecodeError:
+                break  # corrupt bytes end the valid prefix
+            if not header_seen:
+                if not self._header_valid(line, digest, total_jobs):
+                    return {}
+                header_seen = True
+            else:
+                entry = self._parse_entry(line, total_jobs)
+                if entry is None:
+                    break
+                entries[entry["index"]] = {
+                    "fingerprint": entry["fingerprint"],
+                    "result": entry["result"],
+                }
+            valid_end += len(raw_line)
+        if header_seen:
+            self._valid_end = valid_end
+        return entries
+
+    def _header_valid(self, line: str, digest: str,
+                      total_jobs: int) -> bool:
+        try:
+            header = json.loads(line)
+        except ValueError:
+            return False
+        return (
+            isinstance(header, dict)
+            and header.get("journal") == self.VERSION
+            and header.get("repro_version") == __version__
+            and header.get("plan") == digest
+            and header.get("jobs") == total_jobs
+        )
+
+    @staticmethod
+    def _parse_entry(line: str, total_jobs: int) -> Optional[dict]:
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(entry, dict):
+            return None
+        index = entry.get("index")
+        if not isinstance(index, int) or not 0 <= index < total_jobs:
+            return None
+        if not isinstance(entry.get("fingerprint"), str):
+            return None
+        if not isinstance(entry.get("result"), dict):
+            return None
+        return entry
+
+    # ------------------------------------------------------------------
+    def start(self, digest: str, total_jobs: int,
+              resuming: bool) -> None:
+        """Open the journal for appending.
+
+        ``resuming`` means :meth:`load` found a valid journal for this
+        exact campaign, so new entries extend it — after truncating any
+        invalid tail (a torn line from the kill) so appended entries
+        never merge into it.  Otherwise the file is truncated and a
+        fresh header written.  (A resume attempt whose journal turned
+        out invalid lands here with ``resuming=False`` and overwrites
+        the bad journal with a good one.)
+        """
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        if resuming:
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if self._valid_end is not None:
+                self._handle.truncate(self._valid_end)
+            return
+        self._handle = open(self.path, "w", encoding="utf-8")
+        header = {"journal": self.VERSION, "repro_version": __version__,
+                  "plan": digest, "jobs": total_jobs}
+        self._append(header)
+
+    def record(self, job: CheckJob, result) -> None:
+        """Journal one completed job (durably: flush + fsync)."""
+        if self._handle is None:
+            raise RuntimeError("checkpoint not started; call start()")
+        from .cache import encode_result
+        self._append({
+            "index": job.index,
+            "fingerprint": job.fingerprint,
+            "result": encode_result(result),
+        })
+
+    def _append(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, default=repr) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

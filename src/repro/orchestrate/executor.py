@@ -1,4 +1,4 @@
-"""Job executors: serial (deterministic default) and multiprocessing.
+"""Job executors: serial, chunked multiprocessing, and work-stealing.
 
 An executor is anything with a ``name`` and a ``map(jobs)`` method that
 yields one :class:`JobResult` per job **in job-index order**.  The
@@ -6,19 +6,30 @@ ordering contract is what makes every execution strategy produce the
 same report: the orchestrator aggregates results as they stream out,
 so serial, process-parallel, and any future distributed executor are
 interchangeable without touching aggregation or report rendering.
+(``tests/test_executor_contract.py`` is the executable form of the
+contract — any new executor must pass that battery unchanged.)
 
 ``ParallelExecutor`` ships pickled jobs to a ``multiprocessing`` pool
 and relies on ``imap`` (ordered, lazy) to restore plan order.  Each
 worker keeps a per-process elaboration cache so consecutive jobs of the
 same module (the planner emits them contiguously) share one flattened
 design, mirroring the serial executor's reuse.
+
+``WorkStealingExecutor`` replaces ``imap``'s static chunking with a
+shared job queue that idle workers pull from one job at a time: a
+straggler check pins one worker while the rest keep draining the queue,
+instead of idling the pool behind a slow chunk.  Results come back
+unordered and are reassembled into plan order by the parent, so the
+streaming contract is preserved bit for bit.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Dict, Iterable, Iterator, Optional
+import pickle
+import queue as queue_module
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from .job import CheckJob, JobResult, run_check_job
 
@@ -113,3 +124,153 @@ def _pool_context():
         return multiprocessing.get_context("fork")
     except ValueError:
         return multiprocessing.get_context()
+
+
+def _steal_worker(job_queue, result_queue) -> None:
+    """Worker loop: pull one job at a time until the ``None`` pill.
+
+    Each payload is ``(job index, pickled JobResult | BaseException)``;
+    the parent re-raises exceptions when their job's turn in plan order
+    comes up, matching ``ParallelExecutor``'s error propagation through
+    ``imap``.  Pickling happens here, in the worker, so an unpicklable
+    result or error (a custom engine attaching odd objects to
+    ``CheckResult.stats``) turns into a descriptive RuntimeError
+    instead of dying silently in the queue's feeder thread and
+    masquerading as a dead worker.
+    """
+    designs: Dict[str, tuple] = {}
+    while True:
+        job = job_queue.get()
+        if job is None:
+            return
+        try:
+            payload = run_check_job(job, designs)
+        except BaseException as exc:  # ship the failure, keep stealing
+            payload = exc
+        try:
+            blob = pickle.dumps(payload)
+        except Exception as exc:
+            kind = ("error" if isinstance(payload, BaseException)
+                    else "result")
+            blob = pickle.dumps(RuntimeError(
+                f"job {job.index} ({job.qualified_name}) produced an "
+                f"unpicklable {kind}: {exc}"
+            ))
+        result_queue.put((job.index, blob))
+
+
+class WorkStealingExecutor:
+    """Pull-based multiprocessing executor: a shared job queue drained
+    by ``processes`` workers, with an ordered reassembly buffer.
+
+    Compared to :class:`ParallelExecutor`'s ``imap`` chunking, no job
+    is committed to a worker before that worker is free: long checks
+    (the Figure 7 oversized-cone scenario) occupy exactly one worker
+    while every other worker keeps pulling, so tail latency is the
+    longest single check rather than the longest chunk.  Results arrive
+    out of order and are buffered by job index until they are next in
+    plan order, preserving the streaming contract.
+
+    ``poll_interval`` is how often the parent, while blocked waiting
+    for the next result, checks that workers are still alive — once
+    every worker is gone (hard kills included: OOM, SIGKILL) the
+    stream raises ``RuntimeError`` instead of hanging.  One hazard is
+    outside this detector's reach: a worker SIGKILLed at the exact
+    moment it holds the shared job queue's reader lock (a known CPython
+    ``multiprocessing`` limitation) can leave the *surviving* workers
+    blocked on that lock forever, and a pool that is alive-but-stuck is
+    indistinguishable from one running a long check, so that case still
+    hangs.  The same custom-engine caveat as :class:`ParallelExecutor`
+    applies: runtime-registered engines reach workers only under the
+    ``fork`` start method.
+    """
+
+    def __init__(self, processes: Optional[int] = None,
+                 poll_interval: float = 0.1) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        if poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be > 0, got {poll_interval}"
+            )
+        self.processes = processes or os.cpu_count() or 1
+        self.poll_interval = poll_interval
+        self._fell_back = False
+
+    @property
+    def name(self) -> str:
+        """Reports the *effective* mode, like :class:`ParallelExecutor`:
+        a 1-worker or <=1-job run never spawns workers."""
+        if self._fell_back:
+            return "work-stealing[serial-fallback]"
+        return "work-stealing"
+
+    def map(self, jobs: Iterable[CheckJob]) -> Iterator[JobResult]:
+        jobs = list(jobs)
+        if len(jobs) <= 1 or self.processes == 1:
+            self._fell_back = True
+            yield from SerialExecutor().map(jobs)
+            return
+        self._fell_back = False
+        context = _pool_context()
+        job_queue = context.Queue()
+        result_queue = context.Queue()
+        worker_count = min(self.processes, len(jobs))
+        for job in jobs:
+            job_queue.put(job)
+        for _ in range(worker_count):
+            job_queue.put(None)  # one stop pill per worker
+        workers = [
+            context.Process(target=_steal_worker,
+                            args=(job_queue, result_queue), daemon=True)
+            for _ in range(worker_count)
+        ]
+        for worker in workers:
+            worker.start()
+        #: JobResult or BaseException by job index; exceptions are
+        #: raised only when their job is next in plan order, so every
+        #: earlier completed result streams out (and gets journaled)
+        #: first — the same semantics ``imap`` gives ParallelExecutor
+        buffered: Dict[int, object] = {}
+        try:
+            for job in jobs:
+                while job.index not in buffered:
+                    index, blob = self._next_payload(
+                        result_queue, workers
+                    )
+                    buffered[index] = pickle.loads(blob)
+                payload = buffered.pop(job.index)
+                if isinstance(payload, BaseException):
+                    raise payload
+                yield payload
+        finally:
+            for worker in workers:
+                if worker.is_alive():
+                    worker.terminate()
+            for worker in workers:
+                worker.join()
+            # the job queue may still hold unpulled jobs when the
+            # consumer closes the stream early; don't let their feeder
+            # threads block interpreter shutdown
+            for q in (job_queue, result_queue):
+                q.cancel_join_thread()
+                q.close()
+
+    def _next_payload(self, result_queue, workers: List) -> tuple:
+        """Block for the next (index, payload) pair, watching for a
+        silently-dead pool."""
+        while True:
+            try:
+                return result_queue.get(timeout=self.poll_interval)
+            except queue_module.Empty:
+                if any(worker.is_alive() for worker in workers):
+                    continue
+                # all workers gone — allow one grace read for payloads
+                # still in the queue's pipe buffer, then give up
+                try:
+                    return result_queue.get(timeout=1.0)
+                except queue_module.Empty:
+                    raise RuntimeError(
+                        "work-stealing pool died without delivering "
+                        "all results (worker killed?)"
+                    ) from None

@@ -1,23 +1,28 @@
-"""The campaign orchestrator: plan → cache-partition → execute → aggregate.
+"""The campaign orchestrator: plan → partition → execute → aggregate.
 
 ``CampaignOrchestrator`` ties the subsystem together:
 
 1. :func:`~repro.orchestrate.planner.plan_campaign` walks the blocks
    once and emits the ordered :class:`CheckJob` list;
-2. if a :class:`~repro.orchestrate.cache.ResultCache` is attached, each
-   job's fingerprint is looked up first — hits replay their stored
-   verdict, misses stay on the run list;
-3. the executor (serial by default, process-parallel opt-in) streams
-   :class:`JobResult`\\ s back in plan order;
-4. results — cached and fresh interleaved back into plan order — are
-   aggregated incrementally into the legacy :class:`CampaignReport`:
-   per-block property counters, per-block distinct-defective-module bug
-   counts (no post-hoc rescan), and the ``progress`` callback fired
-   once per property in plan order.
+2. the plan is partitioned: jobs already completed in an attached
+   :class:`~repro.orchestrate.checkpoint.CampaignCheckpoint` journal
+   (when resuming) are replayed first, then a
+   :class:`~repro.orchestrate.cache.ResultCache` hit replays its stored
+   verdict, and only the remainder stays on the run list;
+3. the executor (serial by default; chunked-pool or work-stealing
+   process-parallel opt-in) streams :class:`JobResult`\\ s back in plan
+   order, each fresh result journaled to the checkpoint as it arrives;
+4. results — journal-replayed, cached, and fresh interleaved back into
+   plan order — are aggregated incrementally into the legacy
+   :class:`CampaignReport`: per-block property counters, per-block
+   distinct-defective-module bug counts (no post-hoc rescan), and the
+   ``progress`` callback fired once per property in plan order.
 
 Because aggregation consumes results strictly in plan order, every
-executor produces a byte-identical report; ``report.stats`` carries the
-orchestration counters (jobs, cache hits/misses, executor name) on top.
+executor — and every interrupted-then-resumed execution — produces a
+byte-identical report outcome (``CampaignReport.canonical_bytes``);
+``report.stats`` carries the orchestration counters (jobs, cache
+hits/misses, journal replays, executor name) on top.
 """
 
 from __future__ import annotations
@@ -27,7 +32,8 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.campaign import BlockSummary, CampaignReport, PropertyResult
 from ..formal.engine import CheckResult, FAIL
-from .cache import ResultCache
+from .cache import ResultCache, decode_result
+from .checkpoint import CampaignCheckpoint, plan_digest
 from .executor import SerialExecutor
 from .job import CheckJob, EngineConfig
 from .planner import Blocks, CampaignPlan, plan_campaign
@@ -44,6 +50,9 @@ class CampaignOrchestrator:
     ``executor`` is any object with ``name`` and ``map(jobs)`` yielding
     results in plan order.  ``cache`` is an optional
     :class:`ResultCache`; pass one to make reruns incremental.
+    ``checkpoint`` is an optional :class:`CampaignCheckpoint`; pass one
+    to journal completed jobs so a killed campaign can be restarted
+    with ``run(resume=True)``.
     """
 
     #: default per-job budget limits, matching the legacy
@@ -58,11 +67,13 @@ class CampaignOrchestrator:
                  engines: Optional[Tuple[EngineConfig, ...]] = None,
                  executor=None,
                  cache: Optional[ResultCache] = None,
+                 checkpoint: Optional[CampaignCheckpoint] = None,
                  lint: bool = True) -> None:
         self.blocks = [(name, list(mods)) for name, mods in blocks]
         self.engines = tuple(engines) if engines else self.DEFAULT_ENGINES
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
+        self.checkpoint = checkpoint
         self.lint = lint
 
     # ------------------------------------------------------------------
@@ -70,7 +81,19 @@ class CampaignOrchestrator:
         return plan_campaign(self.blocks, self.engines, lint=self.lint)
 
     # ------------------------------------------------------------------
-    def run(self, progress: Progress = None) -> CampaignReport:
+    def run(self, progress: Progress = None,
+            resume: bool = False) -> CampaignReport:
+        """Run the campaign.
+
+        ``resume=True`` requires an attached :class:`CampaignCheckpoint`
+        and replays its journal's valid prefix before executing the
+        remainder; the resulting report's outcome
+        (``CampaignReport.canonical_bytes``) is byte-identical to an
+        uninterrupted run.  An invalid or mismatched journal degrades
+        to a plain full run (and is overwritten with a fresh one).
+        """
+        if resume and self.checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint")
         started = time.perf_counter()
         plan = self.plan()
 
@@ -81,15 +104,28 @@ class CampaignOrchestrator:
                 block_name, submodules=plan.submodules[block_name]
             )
 
-        cached_results, to_run = self._partition(plan)
+        journal_results = self._open_checkpoint(plan, resume)
+        cached_results, to_run = self._partition(plan, journal_results)
         executed = self.executor.map(to_run)
 
         fail_modules: Dict[str, Set[str]] = {}
         fresh_modules: Set[str] = {job.module.name for job in to_run}
         try:
             for job in plan.jobs:
-                cached = job.index in cached_results
-                if cached:
+                cached = False
+                if job.index in journal_results:
+                    # this campaign's own completed work, restored —
+                    # indistinguishable in the report from having just
+                    # run it (``cached`` stays False); backfill the
+                    # cache, which a hard kill may never have flushed
+                    # (skipped when already present: a resume must not
+                    # dirty a warm shared store into a full rewrite)
+                    result = journal_results[job.index]
+                    if self.cache is not None and \
+                            job.fingerprint not in self.cache:
+                        self.cache.store(job.fingerprint, result)
+                elif job.index in cached_results:
+                    cached = True
                     result = cached_results[job.index]
                 else:
                     job_result = next(executed, None)
@@ -108,6 +144,8 @@ class CampaignOrchestrator:
                     result = job_result.result
                     if self.cache is not None:
                         self.cache.store(job.fingerprint, result)
+                    if self.checkpoint is not None:
+                        self.checkpoint.record(job, result)
                 self._record(report, job, result, cached, fail_modules,
                              progress)
             # drive the executor to completion: lets it release its
@@ -126,7 +164,10 @@ class CampaignOrchestrator:
             if close is not None:
                 close()
             # ...and persist whatever completed, even when a job blows
-            # up mid-campaign — that's what an incremental retry reuses
+            # up mid-campaign — that's what an incremental retry (or a
+            # resume from the journal) reuses
+            if self.checkpoint is not None:
+                self.checkpoint.close()
             if self.cache is not None:
                 self.cache.flush()
         report.seconds = time.perf_counter() - started
@@ -136,6 +177,7 @@ class CampaignOrchestrator:
             "jobs": plan.total_jobs,
             "cache_hits": len(cached_results),
             "cache_misses": len(to_run) if self.cache is not None else 0,
+            "journal_replayed": len(journal_results),
             "modules_checked": sorted(fresh_modules),
             "modules_replayed": sorted(
                 set(plan.modules_planned()) - fresh_modules
@@ -144,15 +186,45 @@ class CampaignOrchestrator:
         return report
 
     # ------------------------------------------------------------------
-    def _partition(self, plan: CampaignPlan
+    def _open_checkpoint(self, plan: CampaignPlan,
+                         resume: bool) -> Dict[int, CheckResult]:
+        """Load the journal's replayable results (resume only) and open
+        the journal for appending this run's fresh completions."""
+        if self.checkpoint is None:
+            return {}
+        digest = plan_digest(plan)
+        replayed: Dict[int, CheckResult] = {}
+        if resume:
+            design_cache: dict = {}
+            for index, entry in self.checkpoint.load(
+                    digest, plan.total_jobs).items():
+                job = plan.jobs[index]
+                if entry["fingerprint"] != job.fingerprint:
+                    continue  # stale entry — re-check, never trust it
+                try:
+                    replayed[index] = decode_result(
+                        entry["result"], job, design_cache
+                    )
+                except Exception:
+                    continue  # malformed/unreplayable — re-check
+        self.checkpoint.start(digest, plan.total_jobs,
+                              resuming=bool(replayed))
+        return replayed
+
+    # ------------------------------------------------------------------
+    def _partition(self, plan: CampaignPlan,
+                   journal_results: Dict[int, CheckResult]
                    ) -> Tuple[Dict[int, CheckResult], List[CheckJob]]:
-        """Split the plan into cache hits and jobs that must run."""
+        """Split the plan into journal replays (already loaded), cache
+        hits, and jobs that must run."""
+        remaining = [job for job in plan.jobs
+                     if job.index not in journal_results]
         if self.cache is None:
-            return {}, list(plan.jobs)
+            return {}, remaining
         cached: Dict[int, CheckResult] = {}
         to_run: List[CheckJob] = []
         design_cache: dict = {}
-        for job in plan.jobs:
+        for job in remaining:
             result = self.cache.lookup(job.fingerprint, job, design_cache)
             if result is not None:
                 cached[job.index] = result

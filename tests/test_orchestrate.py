@@ -2,6 +2,7 @@
 and the incremental result cache."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -409,6 +410,138 @@ class TestResultCache:
         for record in rerun.failures_by_module()["C00_fsmctl"]:
             assert not record.cached
             assert record.result.trace is not None
+
+
+def _mutate_truncate_half(path):
+    data = path.read_text()
+    path.write_text(data[: len(data) // 2])
+
+
+def _mutate_wrong_repro_version(path):
+    store = json.loads(path.read_text())
+    store["repro_version"] = "0.0.0-not-this-build"
+    path.write_text(json.dumps(store))
+
+
+def _mutate_wrong_store_version(path):
+    store = json.loads(path.read_text())
+    store["version"] = 999
+    path.write_text(json.dumps(store))
+
+
+def _mutate_entries_not_a_dict(path):
+    store = json.loads(path.read_text())
+    store["entries"] = "bogus"
+    path.write_text(json.dumps(store))
+
+
+def _mutate_fail_entries_empty_trace(path):
+    store = json.loads(path.read_text())
+    for entry in store["entries"].values():
+        if entry["status"] == "fail":
+            entry["trace"] = []
+    path.write_text(json.dumps(store))
+
+
+def _mutate_one_entry_non_dict(path):
+    store = json.loads(path.read_text())
+    victim = sorted(store["entries"])[0]
+    store["entries"][victim] = ["not", "a", "dict"]
+    path.write_text(json.dumps(store))
+
+
+#: (mutator, which entries must degrade to misses)
+CACHE_CORRUPTIONS = [
+    pytest.param(_mutate_truncate_half, "all", id="truncated-json"),
+    pytest.param(_mutate_wrong_repro_version, "all",
+                 id="wrong-repro-version"),
+    pytest.param(_mutate_wrong_store_version, "all",
+                 id="wrong-store-version"),
+    pytest.param(_mutate_entries_not_a_dict, "all",
+                 id="entries-not-a-dict"),
+    pytest.param(_mutate_fail_entries_empty_trace, "fails",
+                 id="fail-empty-trace"),
+    pytest.param(_mutate_one_entry_non_dict, "one", id="non-dict-entry"),
+]
+
+
+class TestCacheCorruptionMatrix:
+    """Every way a cache file can rot degrades to a miss (scoped as
+    tightly as the damage allows) and never changes a single verdict."""
+
+    @pytest.mark.parametrize("mutate,scope", CACHE_CORRUPTIONS)
+    def test_corruption_degrades_to_miss_never_flips_verdict(
+            self, mutate, scope, tmp_path):
+        path = tmp_path / "results.json"
+        blocks = _buggy_small_blocks()
+        cold = FormalCampaign(blocks, budget_factory=_budget,
+                              cache=ResultCache(path)).run()
+        store = json.loads(path.read_text())
+        fails = sum(1 for entry in store["entries"].values()
+                    if entry["status"] == "fail")
+        assert fails > 0, "fixture must cache FAIL entries"
+        mutate(path)
+        rerun = FormalCampaign(_buggy_small_blocks(),
+                               budget_factory=_budget,
+                               cache=ResultCache(path)).run()
+        expected_misses = {
+            "all": cold.total_properties, "fails": fails, "one": 1,
+        }[scope]
+        assert rerun.stats["cache_misses"] == expected_misses
+        assert rerun.stats["cache_hits"] == \
+            cold.total_properties - expected_misses
+        assert [r.result.status for r in rerun.results] == \
+            [r.result.status for r in cold.results]
+        assert format_table2(rerun) == format_table2(cold)
+        assert set(rerun.failures_by_module()) == {"C00_fsmctl"}
+        # the rerun healed the store: a further rerun is all hits
+        healed = FormalCampaign(_buggy_small_blocks(),
+                                budget_factory=_budget,
+                                cache=ResultCache(path)).run()
+        assert healed.stats["cache_misses"] == 0
+
+
+def _flush_worker(path, worker_id, barrier, rounds):
+    """Hammer one shared cache path: every worker flushes its own view
+    at the same instant, ``rounds`` times over."""
+    cache = ResultCache(path)
+    for round_no in range(rounds):
+        for j in range(10):
+            cache.store(f"w{worker_id}-r{round_no}-{j}",
+                        CheckResult(f"prop{j}", PASS, "test"))
+        barrier.wait()
+        cache.flush()
+
+
+class TestConcurrentFlush:
+    def test_parallel_flushes_never_corrupt_the_store(self, tmp_path):
+        """Campaigns sharing one cache path may flush at the same
+        moment; the store on disk must always be one writer's complete
+        valid JSON (last writer wins), with no temp-file litter."""
+        path = tmp_path / "shared.json"
+        context = multiprocessing.get_context("fork")
+        workers, rounds = 4, 5
+        barrier = context.Barrier(workers)
+        processes = [
+            context.Process(target=_flush_worker,
+                            args=(str(path), i, barrier, rounds))
+            for i in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+        assert all(process.exitcode == 0 for process in processes)
+        store = json.loads(path.read_text())  # parses: rename was atomic
+        assert store["version"] == ResultCache.VERSION
+        entries = store["entries"]
+        owners = {key.split("-")[0] for key in entries}
+        assert len(owners) == 1, "store interleaved two writers"
+        assert entries and len(entries) % 10 == 0
+        assert len(ResultCache(path)) == len(entries)
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name != "shared.json"]
+        assert leftovers == []
 
 
 class TestBlockSummaryAdd:
