@@ -9,6 +9,10 @@ Runs the same chip campaign several ways —
 4. serial executor against a warm result cache (the ECO-rerun case),
 5. checkpointed cold run, then a resume from a half-truncated journal
    (the killed-campaign case: half the jobs replay, half execute),
+6. a shared-BDD-workspace probe on a fixed block-C scope with the
+   ``bdd-combined`` engine (the BDD-heaviest configuration): cold
+   managers vs one shared workspace, counting total BDD node
+   creations via ``repro.formal.bdd.nodes_created_total``,
 
 verifies every run produces a byte-identical campaign outcome
 (``CampaignReport.canonical_bytes``), and writes a perf record to
@@ -38,9 +42,11 @@ sys.path.insert(
 
 from repro.chip import ComponentChip                      # noqa: E402
 from repro.core.campaign import FormalCampaign            # noqa: E402
+from repro.formal.bdd import nodes_created_total          # noqa: E402
+from repro.formal.workspace import BddWorkspace           # noqa: E402
 from repro.orchestrate import (                           # noqa: E402
-    CampaignCheckpoint, ParallelExecutor, ResultCache,
-    WorkStealingExecutor,
+    CampaignCheckpoint, EngineConfig, ParallelExecutor, ResultCache,
+    SerialExecutor, WorkStealingExecutor,
 )
 
 OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_campaign.json"
@@ -56,6 +62,65 @@ def _timed_run(blocks, resume=False, **kwargs):
     started = time.perf_counter()
     report = campaign.run(resume=resume)
     return report, time.perf_counter() - started
+
+
+def _bench_workspace():
+    """Shared-BDD-workspace probe: the block-C campaign forced onto the
+    ``bdd-combined`` engine (every check builds a BDD universe), cold
+    managers vs one shared per-module workspace.
+
+    The scope is fixed (block C, 101 properties over 13 modules) so the
+    record is comparable across runs whatever ``--blocks`` selected;
+    node creations are counted process-wide, which is why this probe
+    runs serially.
+    """
+    blocks = ComponentChip(only_blocks=["C"]).blocks
+    engines = (EngineConfig(method="bdd-combined",
+                            sat_conflicts=1_000_000,
+                            bdd_nodes=10_000_000),)
+
+    nodes_before = nodes_created_total()
+    started = time.perf_counter()
+    cold = FormalCampaign(blocks, engines=engines).run()
+    cold_s = time.perf_counter() - started
+    cold_nodes = nodes_created_total() - nodes_before
+
+    workspace = BddWorkspace()
+    nodes_before = nodes_created_total()
+    started = time.perf_counter()
+    shared = FormalCampaign(
+        blocks, engines=engines,
+        executor=SerialExecutor(workspace=workspace),
+    ).run()
+    shared_s = time.perf_counter() - started
+    shared_nodes = nodes_created_total() - nodes_before
+
+    identical = cold.canonical_bytes() == shared.canonical_bytes()
+    saved_pct = round(100.0 * (1 - shared_nodes / cold_nodes), 1) \
+        if cold_nodes else 0.0
+    print(f"  bdd cold managers:  {cold_s:7.2f}s "
+          f"({cold_nodes:,} nodes created)")
+    print(f"  bdd shared ws:      {shared_s:7.2f}s "
+          f"({shared_nodes:,} nodes created, {saved_pct}% saved, "
+          f"{workspace.stats()['reuses']} manager reuses)")
+    if not identical:
+        print("  WARNING: shared-workspace outcome diverged from cold!")
+    return {
+        "scope": "block C",
+        "engine": "bdd-combined",
+        "properties": cold.total_properties,
+        "seconds": {
+            "cold": round(cold_s, 3),
+            "shared": round(shared_s, 3),
+        },
+        "nodes_created": {
+            "cold": cold_nodes,
+            "shared": shared_nodes,
+            "saved_pct": saved_pct,
+        },
+        "workspace": workspace.stats(),
+        "outcomes_identical": identical,
+    }
 
 
 def _truncate_journal(path, keep_fraction):
@@ -130,6 +195,8 @@ def main():
               f"{resumed_report.total_properties} replayed from "
               f"{kept} journal entries)")
 
+    workspace_record = _bench_workspace()
+
     reports = {
         "serial": serial_report, "parallel": parallel_report,
         "work_stealing": stealing_report, "warm": warm_report,
@@ -184,11 +251,14 @@ def main():
         },
         "tables_identical": tables_identical,
         "outcomes_identical": outcomes_identical,
+        "shared_workspace": workspace_record,
     }
     OUT_PATH.parent.mkdir(exist_ok=True)
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"  perf record -> {OUT_PATH}")
-    return 0 if tables_identical and outcomes_identical else 1
+    all_identical = (tables_identical and outcomes_identical
+                     and workspace_record["outcomes_identical"])
+    return 0 if all_identical else 1
 
 
 if __name__ == "__main__":

@@ -22,8 +22,9 @@ Subpackages
     the formal verification campaign.
 ``repro.orchestrate``
     Job-based campaign orchestration: check-job planning, serial and
-    multiprocessing executors, per-job engine portfolios, and the
-    fingerprint-keyed incremental result cache.
+    multiprocessing executors, per-job engine portfolios, the
+    fingerprint-keyed incremental result cache, crash-safe
+    checkpoint/resume, and shared per-module BDD workspaces.
 ``repro.synth``
     Gate-level lowering, area model and static timing analysis for the
     design-impact study (Table 4).

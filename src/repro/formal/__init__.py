@@ -9,7 +9,8 @@ from .transition import TransitionSystem
 from .trace import Trace
 from .bmc import BmcResult, Unroller, bmc
 from .induction import InductionResult, k_induction
-from .bdd import Bdd
+from .bdd import Bdd, nodes_created_total
+from .workspace import BddWorkspace, WorkspaceBinding
 from .reachability import (
     ReachResult, SymbolicModel, backward_reach, combined_reach,
     forward_reach,
@@ -29,7 +30,8 @@ __all__ = [
     "Solver", "CnfContext", "TransitionSystem", "Trace",
     "BmcResult", "Unroller", "bmc",
     "InductionResult", "k_induction",
-    "Bdd",
+    "Bdd", "nodes_created_total",
+    "BddWorkspace", "WorkspaceBinding",
     "ReachResult", "SymbolicModel", "backward_reach", "combined_reach",
     "forward_reach",
     "PobddStats", "choose_window_vars", "pobdd_reach",

@@ -25,6 +25,13 @@ including the campaign orchestrator's per-job engine portfolios
 Counterexamples found by BDD engines are concretised by a BMC run at
 the discovered depth, then validated by replay on the transition
 system before being reported.
+
+BDD-family engines (``bdd-*``, ``pobdd``, and ``auto``'s fallback leg)
+honour ``EngineOptions.workspace``: when a
+:class:`~repro.formal.workspace.WorkspaceBinding` is attached, the
+engine leases a shared, possibly pre-warmed manager for the problem's
+module instead of building a cold one — same verdicts, fewer node
+constructions (see :mod:`repro.formal.workspace`).
 """
 
 from __future__ import annotations
@@ -80,12 +87,26 @@ class CheckResult:
 
 @dataclass(frozen=True)
 class EngineOptions:
-    """Tuning knobs handed to a registered engine."""
+    """Tuning knobs handed to a registered engine.
+
+    ``workspace`` is *runtime wiring*, not a tuning knob: a
+    :class:`~repro.formal.workspace.WorkspaceBinding` (the shared BDD
+    workspace scoped to this problem's module) that BDD-family engines
+    lease their manager from instead of building a cold one.  It is
+    excluded from engine-config fingerprints —
+    :meth:`repro.orchestrate.job.EngineConfig.describe` drops it — and
+    from equality, because sharing a node table never flips a
+    PASS/FAIL verdict; it changes the cost of reaching it (and with it,
+    one-sidedly, whether a tight node budget trips — see
+    :mod:`repro.orchestrate`).
+    """
 
     max_bound: int = 60
     max_k: int = 40
     unique_states: bool = True
     num_window_vars: int = 2
+    workspace: Optional[object] = field(default=None, compare=False,
+                                        repr=False)
 
 
 EngineFn = Callable[["ModelChecker", EngineOptions], CheckResult]
@@ -203,8 +224,19 @@ class ModelChecker(metaclass=_ModelCheckerMeta):
         return CheckResult(self.ts.name, UNKNOWN, "kind", depth=max_k,
                            stats={"sat": result.stats})
 
-    def _run_bdd(self, method: str) -> CheckResult:
-        model = SymbolicModel(self.ts, budget=self.budget)
+    def _symbolic_model(self,
+                        options: Optional[EngineOptions]) -> SymbolicModel:
+        """Build the symbolic model — on a leased shared manager when
+        ``options`` carries a workspace binding, cold otherwise."""
+        workspace = options.workspace if options is not None else None
+        if workspace is None:
+            return SymbolicModel(self.ts, budget=self.budget)
+        manager = workspace.lease(self.budget)
+        return SymbolicModel(self.ts, budget=self.budget, bdd=manager)
+
+    def _run_bdd(self, method: str,
+                 options: Optional[EngineOptions] = None) -> CheckResult:
+        model = self._symbolic_model(options)
         traversal = {
             "bdd-forward": forward_reach,
             "bdd-backward": backward_reach,
@@ -224,8 +256,9 @@ class ModelChecker(metaclass=_ModelCheckerMeta):
         return CheckResult(self.ts.name, FAIL, method,
                            depth=trace.length - 1, trace=trace, stats=stats)
 
-    def _run_pobdd(self, num_window_vars: int) -> CheckResult:
-        model = SymbolicModel(self.ts, budget=self.budget)
+    def _run_pobdd(self, num_window_vars: int,
+                   options: Optional[EngineOptions] = None) -> CheckResult:
+        model = self._symbolic_model(options)
         reach, pstats = pobdd_reach(model, num_window_vars=num_window_vars)
         stats = {
             "iterations": reach.iterations,
@@ -272,7 +305,7 @@ def _engine_auto(checker: ModelChecker, options: EngineOptions) -> CheckResult:
     if inductive.status in (PASS, FAIL):
         inductive.engine = "auto:kind"
         return inductive
-    bdd_result = checker._run_bdd("bdd-combined")
+    bdd_result = checker._run_bdd("bdd-combined", options)
     bdd_result.engine = "auto:" + bdd_result.engine
     return bdd_result
 
@@ -289,7 +322,7 @@ def _engine_kind(checker: ModelChecker, options: EngineOptions) -> CheckResult:
 
 def _bdd_engine(method: str) -> EngineFn:
     def run(checker: ModelChecker, options: EngineOptions) -> CheckResult:
-        return checker._run_bdd(method)
+        return checker._run_bdd(method, options)
     return run
 
 
@@ -299,4 +332,4 @@ for _method in ("bdd-forward", "bdd-backward", "bdd-combined"):
 
 @register_engine("pobdd")
 def _engine_pobdd(checker: ModelChecker, options: EngineOptions) -> CheckResult:
-    return checker._run_pobdd(options.num_window_vars)
+    return checker._run_pobdd(options.num_window_vars, options)

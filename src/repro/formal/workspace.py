@@ -1,0 +1,211 @@
+"""Shared BDD workspaces — one hash-consed universe per module.
+
+Every BDD-family engine run used to build its universe from scratch: a
+fresh :class:`~repro.formal.bdd.Bdd` manager, an empty unique table,
+cold ``ite``/``exists``/``and_exists`` memos.  A campaign, however,
+checks each module many times (one job per asserted property, plus
+portfolio retries), and jobs of the same module encode their transition
+relations over the *same* variable numbering — so consecutive checks
+rebuild near-identical node sets and recompute the same intermediate
+operations.
+
+A :class:`BddWorkspace` keeps one manager per *module key* alive across
+checks.  Sharing is sound because a BDD manager is a pure structure:
+
+- the unique table maps ``(var, lo, hi)`` triples to canonical node
+  ids, so a node means the same boolean function whatever problem
+  created it — a later problem that builds the same function gets a
+  hash-cons hit instead of a new node;
+- the operation memos (``ite``, ``exists``, ``and_exists``, ``rename``)
+  cache pure functions of node ids, so entries left behind by one
+  problem are exactly correct for the next;
+- per-problem state (the AIG-literal cache, variable maps,
+  quantification schedules) lives in
+  :class:`~repro.formal.reachability.SymbolicModel`, which is still
+  built fresh per check — only the manager underneath is reused.
+
+Budgets do *not* travel with the manager: :meth:`BddWorkspace.lease`
+re-arms the manager with the next check's fresh
+:class:`~repro.formal.budget.ResourceBudget`.  Only newly *created*
+nodes are charged, so a warmed manager consumes at most as much budget
+as a cold one for the same problem — which also means a *binding* node
+budget is the one place sharing can change an outcome: a check that
+would TIMEOUT cold may complete warm (never the reverse; PASS/FAIL
+verdicts themselves are sharing-invariant, since hash-consed BDDs are
+canonical whatever else the table holds).  A check that exhausts its budget
+mid-operation leaves the manager consistent — every node and memo entry
+written so far is valid — so the next lease starts from a healthy,
+merely larger, table (``tests/test_workspace.py`` locks this in).
+
+Two memory valves bound a long-lived workspace:
+
+- ``max_managers`` — at most this many per-module managers are retained
+  (least-recently-leased evicted first);
+- ``retain_memos=False`` — clear the operation memos on every lease,
+  keeping only the node table (structural sharing) between checks;
+- ``max_manager_nodes`` — a manager whose table outgrew this many nodes
+  is discarded on its next lease and rebuilt cold.
+
+Workspaces are deliberately **not** picklable process-shared objects:
+each executor worker owns its own (see
+:mod:`repro.orchestrate.executor`), which keeps sharing lock-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .bdd import Bdd
+from .budget import ResourceBudget
+
+
+class WorkspaceBinding:
+    """A :class:`BddWorkspace` scoped to one module key.
+
+    This is the object a check-job runner threads into
+    :class:`~repro.formal.engine.EngineOptions`: the engine only ever
+    leases "the manager for *this* problem" and never sees the keying
+    scheme.  Bindings are cheap throwaway views; the workspace owns the
+    managers.
+    """
+
+    __slots__ = ("workspace", "key")
+
+    def __init__(self, workspace: "BddWorkspace", key: str) -> None:
+        self.workspace = workspace
+        self.key = key
+
+    def lease(self, budget: Optional[ResourceBudget] = None) -> Bdd:
+        """Lease the bound module's manager, armed with ``budget``."""
+        return self.workspace.lease(self.key, budget)
+
+    def __repr__(self) -> str:
+        return f"WorkspaceBinding({self.key!r})"
+
+
+class BddWorkspace:
+    """A pool of per-module :class:`~repro.formal.bdd.Bdd` managers
+    shared across checks (portfolio stages and jobs alike).
+
+    ``lease(key, budget)`` is the whole lifecycle: it returns the
+    retained manager for ``key`` (or creates one), re-armed with the
+    caller's budget.  There is no release call — leases are serial
+    within one worker by construction, and the workspace never touches
+    a manager while a check is running on it.
+
+    Parameters
+    ----------
+    max_managers:
+        Retain at most this many module managers; the least recently
+        leased is evicted when the pool is full.  ``None`` = unbounded.
+    retain_memos:
+        When ``False``, every lease starts by clearing the manager's
+        operation memos (node table kept) — less cross-job speedup,
+        flat memo memory.
+    max_manager_nodes:
+        A retained manager whose node table exceeds this size is
+        discarded (and rebuilt cold) at its next lease, bounding
+        per-module table growth.  ``None`` = unbounded.
+    """
+
+    def __init__(self, max_managers: Optional[int] = 8,
+                 retain_memos: bool = True,
+                 max_manager_nodes: Optional[int] = None) -> None:
+        if max_managers is not None and max_managers < 1:
+            raise ValueError(
+                f"max_managers must be >= 1 or None, got {max_managers}"
+            )
+        if max_manager_nodes is not None and max_manager_nodes < 2:
+            raise ValueError(
+                f"max_manager_nodes must be >= 2 or None, "
+                f"got {max_manager_nodes}"
+            )
+        self.max_managers = max_managers
+        self.retain_memos = retain_memos
+        self.max_manager_nodes = max_manager_nodes
+        #: module key -> manager, in least-recently-leased-first order
+        self._managers: Dict[str, Bdd] = {}
+        self._leases = 0
+        self._reuses = 0
+        self._evictions = 0
+        self._oversize_discards = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, key: str) -> WorkspaceBinding:
+        """A view of this workspace scoped to module ``key``."""
+        return WorkspaceBinding(self, key)
+
+    def lease(self, key: str,
+              budget: Optional[ResourceBudget] = None) -> Bdd:
+        """Return the manager for ``key``, re-armed with ``budget``.
+
+        Reuses the retained manager when one exists (applying the memo
+        retention and oversize policies), otherwise creates a fresh one
+        and, if the pool is full, evicts the least recently leased
+        manager to make room.
+        """
+        self._leases += 1
+        manager = self._managers.pop(key, None)
+        if manager is not None and self.max_manager_nodes is not None \
+                and manager.num_nodes() > self.max_manager_nodes:
+            self._oversize_discards += 1
+            manager = None
+        if manager is not None:
+            self._reuses += 1
+            if not self.retain_memos:
+                manager.clear_memos()
+        else:
+            manager = Bdd()
+            while self.max_managers is not None \
+                    and len(self._managers) >= self.max_managers:
+                self._managers.pop(next(iter(self._managers)))
+                self._evictions += 1
+        self._managers[key] = manager  # (re)insert at most-recent end
+        manager.rearm(budget)
+        return manager
+
+    # ------------------------------------------------------------------
+    def manager(self, key: str) -> Optional[Bdd]:
+        """Peek at the retained manager for ``key`` (no recency touch,
+        no policies applied); ``None`` when not retained."""
+        return self._managers.get(key)
+
+    def clear_memos(self, key: Optional[str] = None) -> None:
+        """Clear operation memos on one retained manager (or all of
+        them), keeping every node table intact."""
+        if key is not None:
+            manager = self._managers.get(key)
+            if manager is not None:
+                manager.clear_memos()
+            return
+        for manager in self._managers.values():
+            manager.clear_memos()
+
+    def discard(self, key: Optional[str] = None) -> None:
+        """Drop one retained manager (or the whole pool); the next
+        lease for a dropped key builds cold."""
+        if key is not None:
+            self._managers.pop(key, None)
+            return
+        self._managers.clear()
+
+    # ------------------------------------------------------------------
+    def total_nodes(self) -> int:
+        """Nodes currently held across every retained manager."""
+        return sum(m.num_nodes() for m in self._managers.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters: leases, reuse hits, evictions, discards,
+        plus the current pool shape."""
+        return {
+            "managers": len(self._managers),
+            "total_nodes": self.total_nodes(),
+            "leases": self._leases,
+            "reuses": self._reuses,
+            "evictions": self._evictions,
+            "oversize_discards": self._oversize_discards,
+        }
+
+    def __repr__(self) -> str:
+        return (f"BddWorkspace(managers={len(self._managers)}, "
+                f"leases={self._leases}, reuses={self._reuses})")

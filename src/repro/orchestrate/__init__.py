@@ -37,6 +37,33 @@ edge cases, mid-stream ``close()``, error propagation, contract-breach
 detection — against every shipped executor; a new (e.g. distributed)
 executor only has to join that parametrization to be certified.
 
+Shared BDD workspaces
+---------------------
+
+A campaign checks each module many times (one job per asserted
+property), and every BDD-family engine stage used to rebuild its
+hash-consed node table from scratch.  Passing ``share_bdd=True`` to any
+executor runs its jobs against a
+:class:`~repro.formal.workspace.BddWorkspace` — per-module managers
+whose node tables and operation memos persist across portfolio stages
+and across jobs of the same module (keyed by
+``CheckJob.workspace_key``, the module's RTL digest).  Serial runs
+share one workspace; pool executors give each worker process its own.
+
+Sharing never flips a PASS/FAIL verdict (hash-consed BDDs are
+canonical whatever else the table holds), so as long as no BDD-node
+budget trips — the default budgets are sized to bind only on genuinely
+oversized cones — ``CampaignReport.canonical_bytes`` is byte-identical
+with sharing on or off, and the tests enforce exactly that.  TIMEOUT
+verdicts, however, are budget-relative, and a warmed manager charges
+only newly created nodes: a check that exhausts its node budget cold
+may complete warm (never the reverse).  Under binding budgets sharing
+is therefore one-sidedly *stronger*, and with the work-stealing
+executor which checks run warm can vary with steal order — pin budgets
+generously (or run sharing off) where strict run-to-run byte-equality
+matters more than throughput.  Cost is the only other thing that
+changes: see ``benchmarks/bench_campaign.py``'s workspace record.
+
 Checkpoint/resume
 -----------------
 
@@ -61,6 +88,7 @@ traces on replay, the same never-a-wrong-verdict rule the cache
 enforces.
 """
 
+from ..formal.workspace import BddWorkspace
 from .job import (
     CheckJob, DEFAULT_PORTFOLIO_METHODS, EngineConfig, JobResult,
     compile_job, job_fingerprint, portfolio, run_check_job,
@@ -72,6 +100,7 @@ from .checkpoint import CampaignCheckpoint, plan_digest
 from .orchestrator import CampaignOrchestrator
 
 __all__ = [
+    "BddWorkspace",
     "CheckJob", "DEFAULT_PORTFOLIO_METHODS", "EngineConfig", "JobResult",
     "compile_job", "job_fingerprint", "portfolio", "run_check_job",
     "CampaignPlan", "plan_campaign",

@@ -33,6 +33,18 @@ suffix) before the atomic rename, so concurrent campaigns sharing one
 cache path can flush simultaneously: last writer wins, and the store on
 disk is always one writer's complete, valid JSON.
 
+``max_entries`` bounds the store: entries are kept in
+least-recently-used order (a hit refreshes recency, so a nightly ECO
+rerun keeps the live design's verdicts and ages out abandoned
+revisions), and storing past the cap evicts the coldest entries.  The
+JSON object's key order *is* the LRU order, so eviction pressure
+carries across runs, and a store larger than a (newly lowered) cap is
+trimmed on load.  Neither recency refreshes nor the load-trim dirty
+the store by themselves: a hits-only campaign still writes nothing on
+flush, so a purely-reading run can never clobber a concurrent writer's
+fresh entries with its own stale snapshot (order updates and the trim
+persist whenever the run also stores something).
+
 The entry codec — :func:`encode_result` / :func:`decode_result` — is
 shared with the campaign checkpoint journal
 (:mod:`repro.orchestrate.checkpoint`): both persistence layers speak
@@ -112,14 +124,31 @@ def decode_result(entry: dict, job: CheckJob,
 
 
 class ResultCache:
-    """On-disk JSON store of check results keyed by content fingerprint."""
+    """On-disk JSON store of check results keyed by content fingerprint.
+
+    ``max_entries`` caps the store at that many entries, evicted in
+    least-recently-used order (``None`` = unbounded, the historical
+    behaviour).  Lookup hits refresh recency; eviction happens on
+    :meth:`store` and, when the cap shrank between runs, on load.
+    """
 
     VERSION = 1
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str,
+                 max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self.path = str(path)
+        self.max_entries = max_entries
         self._entries: Dict[str, dict] = self._load()
         self._dirty = False
+        # a store larger than the cap (the cap shrank between runs) is
+        # trimmed in memory only — the trim reaches disk when this run
+        # stores something, so a hits-only reader stays a reader and
+        # cannot clobber a concurrent writer's store with its snapshot
+        self._evict()
 
     # ------------------------------------------------------------------
     def _load(self) -> Dict[str, dict]:
@@ -171,10 +200,24 @@ class ResultCache:
     def __contains__(self, fingerprint: str) -> bool:
         return fingerprint in self._entries
 
+    def _evict(self) -> int:
+        """Trim the store to ``max_entries``, oldest (least recently
+        stored/hit) first; returns how many entries were dropped."""
+        if self.max_entries is None:
+            return 0
+        dropped = 0
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            dropped += 1
+        return dropped
+
     # ------------------------------------------------------------------
     def store(self, fingerprint: str, result: CheckResult) -> None:
-        """Record one result (trace frames included for FAIL)."""
+        """Record one result (trace frames included for FAIL) at the
+        most-recent end, evicting past ``max_entries``."""
+        self._entries.pop(fingerprint, None)
         self._entries[fingerprint] = encode_result(result)
+        self._evict()
         self._dirty = True
 
     # ------------------------------------------------------------------
@@ -182,12 +225,23 @@ class ResultCache:
                design_cache: Optional[dict] = None
                ) -> Optional[CheckResult]:
         """Return the cached :class:`CheckResult` for ``fingerprint``,
-        or ``None`` (a miss) when absent or not provably sound."""
+        or ``None`` (a miss) when absent or not provably sound.
+
+        On a bounded cache a hit refreshes the entry's recency
+        in-memory — without dirtying the store, so hits alone never
+        cause a flush to rewrite (and potentially clobber) a shared
+        store; the refreshed order is persisted whenever this run also
+        stores something.
+        """
         entry = self._entries.get(fingerprint)
         if entry is None:
             return None
         try:
-            return decode_result(entry, job, design_cache)
+            result = decode_result(entry, job, design_cache)
+            if self.max_entries is not None:
+                self._entries.pop(fingerprint)
+                self._entries[fingerprint] = entry
+            return result
         except Exception:
             # malformed entry, unknown signal, failed replay... — all
             # degrade to a miss and an eviction, never a wrong verdict

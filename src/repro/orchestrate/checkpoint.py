@@ -203,6 +203,10 @@ class CampaignCheckpoint:
         os.fsync(self._handle.fileno())
 
     def close(self) -> None:
+        """Close the journal handle (idempotent).  Every entry was
+        already flushed and fsync'd by :meth:`record`, so closing adds
+        no durability — it releases the descriptor and makes the
+        checkpoint reusable for another :meth:`start`."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None

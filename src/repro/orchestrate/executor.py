@@ -21,6 +21,46 @@ straggler check pins one worker while the rest keep draining the queue,
 instead of idling the pool behind a slow chunk.  Results come back
 unordered and are reassembled into plan order by the parent, so the
 streaming contract is preserved bit for bit.
+
+Shared BDD workspaces
+---------------------
+
+Every executor takes ``share_bdd=True`` to run its jobs against a
+:class:`~repro.formal.workspace.BddWorkspace`: BDD-family engine stages
+lease a per-module hash-consed manager instead of building their node
+table from scratch, so the many jobs of one module (the planner emits
+them contiguously; ``CampaignPlan.module_groups()`` shows the
+grouping) reuse each other's nodes and operation memos.  PASS/FAIL verdicts are
+sharing-invariant, and while no BDD-node budget trips (the default
+regime) ``CampaignReport.canonical_bytes`` is identical with sharing
+on or off; a *binding* node budget is the one exception — a warmed
+manager is charged only fresh nodes, so a check that would TIMEOUT
+cold may complete warm (see :mod:`repro.orchestrate` for the full
+contract).
+
+Workspace scope follows worker scope, keeping sharing lock-free:
+
+- ``SerialExecutor`` — one workspace for the whole run (pass
+  ``workspace=`` to keep one warm across *runs*);
+- ``ParallelExecutor`` / ``WorkStealingExecutor`` — one private
+  workspace per worker process, created by the worker itself (managers
+  hold megabytes of node tables and never cross process boundaries).
+  Affinity is best-effort, from plan contiguity alone: a pool chunk
+  holds consecutive (mostly same-module) jobs, but chunk boundaries
+  are size-based and can split a module's group across workers, and
+  the work-stealing pool interleaves modules freely — so every worker
+  retains a small LRU pool of managers
+  (``BddWorkspace(max_managers=...)``) rather than relying on strict
+  pinning.  (Module-batched scheduling over
+  ``CampaignPlan.module_groups()`` is an open ROADMAP item.)
+
+Every executor forwards ``workspace_options`` (a kwargs dict for the
+:class:`~repro.formal.workspace.BddWorkspace` constructor) to the
+workspaces it creates, so the memory valves — ``max_managers``,
+``retain_memos``, ``max_manager_nodes`` — are tunable on long
+campaigns: e.g. ``WorkStealingExecutor(share_bdd=True,
+workspace_options={"max_manager_nodes": 500_000,
+"retain_memos": False})``.
 """
 
 from __future__ import annotations
@@ -31,27 +71,59 @@ import pickle
 import queue as queue_module
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from ..formal.workspace import BddWorkspace
 from .job import CheckJob, JobResult, run_check_job
 
 
 class SerialExecutor:
-    """Run every job in-process, in plan order (the default)."""
+    """Run every job in-process, in plan order (the default).
+
+    ``share_bdd=True`` runs all jobs against one
+    :class:`~repro.formal.workspace.BddWorkspace` (built with
+    ``workspace_options``); alternatively pass an explicit
+    ``workspace`` to share (and inspect, via ``workspace.stats()``) a
+    manager pool across multiple runs.
+    """
 
     name = "serial"
 
+    def __init__(self, workspace: Optional[BddWorkspace] = None,
+                 share_bdd: bool = False,
+                 workspace_options: Optional[dict] = None) -> None:
+        if workspace is None and share_bdd:
+            workspace = BddWorkspace(**(workspace_options or {}))
+        self.workspace = workspace
+
     def map(self, jobs: Iterable[CheckJob]) -> Iterator[JobResult]:
+        """Yield one :class:`JobResult` per job, lazily, in plan order
+        (trivially — jobs run one at a time in this process)."""
         design_cache: Dict[str, tuple] = {}
         for job in jobs:
-            yield run_check_job(job, design_cache)
+            yield run_check_job(job, design_cache,
+                                workspace=self.workspace)
 
 
 #: per-worker-process elaboration cache, module name -> (module, design);
 #: see compile_job for the single-entry + same-object policy
 _WORKER_DESIGNS: Dict[str, tuple] = {}
 
+#: per-worker-process shared BDD workspace; installed by
+#: :func:`_init_worker` when the parent executor asked for sharing
+_WORKER_WORKSPACE: Optional[BddWorkspace] = None
+
+
+def _init_worker(share_bdd: bool,
+                 workspace_options: Optional[dict] = None) -> None:
+    """Pool-worker initializer: give this worker its own private BDD
+    workspace (never shared across processes) when sharing is on."""
+    global _WORKER_WORKSPACE
+    _WORKER_WORKSPACE = BddWorkspace(**(workspace_options or {})) \
+        if share_bdd else None
+
 
 def _worker_run(job: CheckJob) -> JobResult:
-    return run_check_job(job, _WORKER_DESIGNS)
+    return run_check_job(job, _WORKER_DESIGNS,
+                         workspace=_WORKER_WORKSPACE)
 
 
 class ParallelExecutor:
@@ -71,13 +143,17 @@ class ParallelExecutor:
     """
 
     def __init__(self, processes: Optional[int] = None,
-                 chunksize: Optional[int] = None) -> None:
+                 chunksize: Optional[int] = None,
+                 share_bdd: bool = False,
+                 workspace_options: Optional[dict] = None) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.processes = processes or os.cpu_count() or 1
         self.chunksize = chunksize
+        self.share_bdd = share_bdd
+        self.workspace_options = workspace_options
         self._fell_back = False
 
     @property
@@ -89,18 +165,27 @@ class ParallelExecutor:
         return "parallel"
 
     def map(self, jobs: Iterable[CheckJob]) -> Iterator[JobResult]:
+        """Stream results in plan order off a ``multiprocessing`` pool
+        (``imap`` restores order); falls back to serial for <=1 job or
+        1 worker, where a pool could only add overhead."""
         jobs = list(jobs)
         if len(jobs) <= 1 or self.processes == 1:
             # nothing to parallelise — skip the pool overhead entirely
             self._fell_back = True
-            yield from SerialExecutor().map(jobs)
+            yield from SerialExecutor(
+                share_bdd=self.share_bdd,
+                workspace_options=self.workspace_options,
+            ).map(jobs)
             return
         self._fell_back = False
         chunksize = self.chunksize or max(
             1, len(jobs) // (self.processes * 4)
         )
         context = _pool_context()
-        pool = context.Pool(processes=self.processes)
+        pool = context.Pool(processes=self.processes,
+                            initializer=_init_worker,
+                            initargs=(self.share_bdd,
+                                      self.workspace_options))
         closed = False
         try:
             for job_result in pool.imap(_worker_run, jobs, chunksize):
@@ -126,7 +211,8 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
-def _steal_worker(job_queue, result_queue) -> None:
+def _steal_worker(job_queue, result_queue, share_bdd: bool = False,
+                  workspace_options: Optional[dict] = None) -> None:
     """Worker loop: pull one job at a time until the ``None`` pill.
 
     Each payload is ``(job index, pickled JobResult | BaseException)``;
@@ -137,14 +223,21 @@ def _steal_worker(job_queue, result_queue) -> None:
     ``CheckResult.stats``) turns into a descriptive RuntimeError
     instead of dying silently in the queue's feeder thread and
     masquerading as a dead worker.
+
+    ``share_bdd`` gives this worker a private multi-manager
+    :class:`~repro.formal.workspace.BddWorkspace`: stolen jobs
+    interleave modules, so the worker retains an LRU pool of per-module
+    managers rather than relying on contiguity.
     """
     designs: Dict[str, tuple] = {}
+    workspace = BddWorkspace(**(workspace_options or {})) \
+        if share_bdd else None
     while True:
         job = job_queue.get()
         if job is None:
             return
         try:
-            payload = run_check_job(job, designs)
+            payload = run_check_job(job, designs, workspace=workspace)
         except BaseException as exc:  # ship the failure, keep stealing
             payload = exc
         try:
@@ -186,7 +279,9 @@ class WorkStealingExecutor:
     """
 
     def __init__(self, processes: Optional[int] = None,
-                 poll_interval: float = 0.1) -> None:
+                 poll_interval: float = 0.1,
+                 share_bdd: bool = False,
+                 workspace_options: Optional[dict] = None) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if poll_interval <= 0:
@@ -195,6 +290,8 @@ class WorkStealingExecutor:
             )
         self.processes = processes or os.cpu_count() or 1
         self.poll_interval = poll_interval
+        self.share_bdd = share_bdd
+        self.workspace_options = workspace_options
         self._fell_back = False
 
     @property
@@ -206,10 +303,17 @@ class WorkStealingExecutor:
         return "work-stealing"
 
     def map(self, jobs: Iterable[CheckJob]) -> Iterator[JobResult]:
+        """Stream results in plan order: workers pull jobs one at a
+        time off a shared queue, the parent buffers out-of-order
+        completions by index and yields each result (or raises its
+        error) exactly when its plan-order turn comes up."""
         jobs = list(jobs)
         if len(jobs) <= 1 or self.processes == 1:
             self._fell_back = True
-            yield from SerialExecutor().map(jobs)
+            yield from SerialExecutor(
+                share_bdd=self.share_bdd,
+                workspace_options=self.workspace_options,
+            ).map(jobs)
             return
         self._fell_back = False
         context = _pool_context()
@@ -222,7 +326,10 @@ class WorkStealingExecutor:
             job_queue.put(None)  # one stop pill per worker
         workers = [
             context.Process(target=_steal_worker,
-                            args=(job_queue, result_queue), daemon=True)
+                            args=(job_queue, result_queue,
+                                  self.share_bdd,
+                                  self.workspace_options),
+                            daemon=True)
             for _ in range(worker_count)
         ]
         for worker in workers:

@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, Optional, Tuple
 
 from ..formal.budget import ResourceBudget
 from ..formal.engine import (
     CheckResult, EngineOptions, FAIL, PASS, ModelChecker,
 )
+from ..formal.workspace import BddWorkspace
 from ..psl.ast import VUnit
 from ..psl.compile import compile_assertion
 from ..rtl.elaborate import FlatDesign, elaborate
@@ -63,25 +64,48 @@ class EngineConfig:
         return cls(**overrides)
 
     def make_budget(self) -> ResourceBudget:
+        """A fresh budget carrying this config's limits — built once
+        per check so stages and retries never share spent counters."""
         return ResourceBudget(sat_conflicts=self.sat_conflicts,
                               bdd_nodes=self.bdd_nodes)
+
+    #: :class:`EngineOptions` fields that are execution-time wiring,
+    #: not plan-level tuning knobs: they have no EngineConfig
+    #: counterpart, are injected by the job runner, and stay out of
+    #: fingerprints.  Every *other* option field must exist on the
+    #: config — ``options()`` raises AttributeError otherwise, so a
+    #: knob added to EngineOptions without its config counterpart
+    #: fails loudly instead of silently defaulting.
+    RUNTIME_OPTION_FIELDS = frozenset({"workspace"})
 
     def options(self) -> EngineOptions:
         """The :class:`EngineOptions` slice of this config — derived
         from the option dataclass's own fields, so a knob added there
         (and here) flows through dispatch and fingerprints without
-        further bookkeeping."""
+        further bookkeeping.  :data:`RUNTIME_OPTION_FIELDS` keep their
+        defaults — the job runner injects those at execution time."""
         return EngineOptions(**{
             f.name: getattr(self, f.name) for f in fields(EngineOptions)
+            if f.name not in self.RUNTIME_OPTION_FIELDS
         })
 
     def describe(self) -> Dict[str, object]:
-        """Stable, JSON-able description used in fingerprints."""
+        """Stable, JSON-able description used in fingerprints.
+
+        Runtime wiring (:data:`RUNTIME_OPTION_FIELDS`) is excluded: a
+        shared node table changes the cost of a check, never a
+        PASS/FAIL verdict, so it must not perturb content
+        fingerprints — warmed and cold runs replay each other's cached
+        results.
+        """
+        options = asdict(self.options())
+        for name in self.RUNTIME_OPTION_FIELDS:
+            options.pop(name, None)
         return {
             "method": self.method,
             "sat_conflicts": self.sat_conflicts,
             "bdd_nodes": self.bdd_nodes,
-            **asdict(self.options()),
+            **options,
         }
 
 
@@ -109,6 +133,13 @@ class CheckJob:
     ``index`` is the job's position in the campaign plan; executors must
     deliver results in index order so reports are deterministic
     regardless of execution strategy.
+
+    ``module_digest`` is the SHA-256 of the module's emitted Verilog —
+    the *module-level* slice of ``fingerprint``.  Jobs sharing a digest
+    encode their transition relations over the same RTL, which is what
+    makes them profitable to run against one shared BDD workspace
+    manager (:mod:`repro.formal.workspace`); executors use it as the
+    workspace key.
     """
 
     index: int
@@ -119,10 +150,16 @@ class CheckJob:
     category: str
     engines: Tuple[EngineConfig, ...]
     fingerprint: str
+    module_digest: str = ""
 
     @property
     def qualified_name(self) -> str:
         return f"{self.vunit.name}.{self.assert_name}"
+
+    @property
+    def workspace_key(self) -> str:
+        """The key this job's checks share a BDD manager under."""
+        return self.module_digest or self.module.name
 
 
 @dataclass
@@ -214,7 +251,8 @@ def compile_job(job: CheckJob,
 
 
 def run_check_job(job: CheckJob,
-                  design_cache: Optional[Dict[str, tuple]] = None
+                  design_cache: Optional[Dict[str, tuple]] = None,
+                  workspace: Optional[BddWorkspace] = None
                   ) -> JobResult:
     """Execute one check job: compile, then try each portfolio stage in
     order until one returns a definitive PASS/FAIL verdict.
@@ -223,16 +261,31 @@ def run_check_job(job: CheckJob,
     (engine label prefixed ``portfolio:``) and every stage attempt is
     recorded in ``result.stats['portfolio']``; if no stage is
     definitive, the last stage's result (UNKNOWN/TIMEOUT) stands.
+
+    ``workspace`` opts the job's BDD-family stages into shared-manager
+    mode: the workspace is bound to the job's module key
+    (``job.workspace_key``), so every stage — and every other job of
+    the same module run against the same workspace — leases one
+    hash-consed node table instead of rebuilding its universe cold.
+    PASS/FAIL verdicts are workspace-invariant, and each stage still
+    gets its own fresh :class:`~repro.formal.budget.ResourceBudget`
+    charging only newly created nodes — so a warmed stage can settle a
+    check whose node budget would trip cold, never the reverse
+    (see :mod:`repro.orchestrate`).
     """
     if not job.engines:
         raise ValueError(f"job {job.qualified_name!r} has no engines")
     ts = compile_job(job, design_cache)
+    binding = workspace.bind(job.workspace_key) \
+        if workspace is not None else None
     attempts = []
     result = None
     for config in job.engines:
+        options = config.options()
+        if binding is not None:
+            options = replace(options, workspace=binding)
         checker = ModelChecker(ts, budget=config.make_budget())
-        result = checker.check(method=config.method,
-                               options=config.options())
+        result = checker.check(method=config.method, options=options)
         attempts.append({"engine": config.method, "status": result.status,
                          "seconds": result.seconds})
         if result.status in (PASS, FAIL):

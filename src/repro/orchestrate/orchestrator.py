@@ -78,6 +78,13 @@ class CampaignOrchestrator:
 
     # ------------------------------------------------------------------
     def plan(self) -> CampaignPlan:
+        """Produce the campaign's ordered job list without running it.
+
+        Deterministic for identical inputs: replanning the same blocks
+        with the same engine portfolio yields the same jobs, indices,
+        and fingerprints — which is what lets a resumed campaign match
+        its checkpoint journal against a freshly derived plan.
+        """
         return plan_campaign(self.blocks, self.engines, lint=self.lint)
 
     # ------------------------------------------------------------------

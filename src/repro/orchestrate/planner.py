@@ -51,6 +51,24 @@ class CampaignPlan:
             seen.setdefault(job.module.name, None)
         return list(seen)
 
+    def module_groups(self) -> Dict[str, List[int]]:
+        """Job indices grouped by module fingerprint, in plan order.
+
+        The planner emits each module's jobs contiguously, so every
+        group is a contiguous index run.  Jobs in one group share a
+        module digest, hence a variable numbering, hence a profitable
+        shared BDD manager.  Today the executors exploit this only
+        implicitly — each job carries the group key as
+        ``CheckJob.workspace_key`` and plan contiguity keeps runs of
+        same-module jobs together — while this map is the inspection
+        surface (and the intended scheduling unit for module-batched
+        work stealing, an open ROADMAP item).
+        """
+        groups: Dict[str, List[int]] = {}
+        for job in self.jobs:
+            groups.setdefault(job.workspace_key, []).append(job.index)
+        return groups
+
 
 def plan_campaign(blocks: Blocks, engines: Tuple[EngineConfig, ...],
                   lint: bool = True) -> CampaignPlan:
@@ -91,6 +109,7 @@ def plan_campaign(blocks: Blocks, engines: Tuple[EngineConfig, ...],
                             module_digest, vunit_digest, assert_name,
                             engines_text
                         ),
+                        module_digest=module_digest,
                     ))
                     index += 1
     return plan

@@ -412,6 +412,101 @@ class TestResultCache:
             assert record.result.trace is not None
 
 
+class TestCacheEviction:
+    """Size-bounded LRU eviction (``max_entries``)."""
+
+    def _passing_result(self, name="p"):
+        return CheckResult(name=name, status=PASS, engine="kind", depth=1)
+
+    def test_store_evicts_least_recently_used(self, tmp_path):
+        cache = ResultCache(tmp_path / "r.json", max_entries=2)
+        cache.store("a", self._passing_result())
+        cache.store("b", self._passing_result())
+        cache.store("c", self._passing_result())
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert len(cache) == 2
+
+    def test_lookup_hit_refreshes_recency(self, small_blocks, tmp_path):
+        path = tmp_path / "r.json"
+        campaign = FormalCampaign(small_blocks, budget_factory=_budget,
+                                  cache=ResultCache(path))
+        cold = campaign.run()
+        plan = CampaignOrchestrator(small_blocks,
+                                    engines=(EngineConfig.from_budget(
+                                        _budget()),)).plan()
+        cache = ResultCache(path, max_entries=cold.total_properties)
+        oldest = plan.jobs[0]
+        assert cache.lookup(oldest.fingerprint, oldest) is not None
+        # the hit moved job 0 to the most-recent end: storing one new
+        # entry now evicts some *other* (coldest) fingerprint
+        cache.store("fresh", self._passing_result())
+        assert oldest.fingerprint in cache
+        assert "fresh" in cache
+
+    def test_cap_shrink_trims_on_load(self, tmp_path):
+        path = tmp_path / "r.json"
+        cache = ResultCache(path)
+        for key in ("a", "b", "c", "d"):
+            cache.store(key, self._passing_result())
+        cache.flush()
+        on_disk = path.read_bytes()
+        trimmed = ResultCache(path, max_entries=2)
+        assert len(trimmed) == 2
+        assert "c" in trimmed and "d" in trimmed
+        # the trim alone is in-memory: a hits-only run stays a reader
+        trimmed.flush()
+        assert path.read_bytes() == on_disk
+        # ...and persists once the run actually stores something
+        trimmed.store("e", self._passing_result())
+        trimmed.flush()
+        persisted = ResultCache(path)
+        assert len(persisted) == 2
+        assert "d" in persisted and "e" in persisted
+
+    def test_hits_only_run_never_rewrites_store(self, small_blocks,
+                                                tmp_path):
+        """Recency refreshes alone must not dirty a bounded store: a
+        purely-reading campaign flushing nothing is what stops it from
+        clobbering a concurrent writer's fresh entries with its own
+        stale snapshot."""
+        path = tmp_path / "r.json"
+        campaign = FormalCampaign(small_blocks, budget_factory=_budget,
+                                  cache=ResultCache(path))
+        cold = campaign.run()
+        before = path.read_bytes()
+        warm = FormalCampaign(
+            small_blocks, budget_factory=_budget,
+            cache=ResultCache(path, max_entries=cold.total_properties),
+        ).run()
+        assert warm.stats["cache_misses"] == 0
+        assert path.read_bytes() == before  # flush was a no-op
+
+    def test_unbounded_cache_unchanged(self, tmp_path):
+        cache = ResultCache(tmp_path / "r.json")
+        for index in range(50):
+            cache.store(f"k{index}", self._passing_result())
+        assert len(cache) == 50
+
+    def test_bad_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "r.json", max_entries=0)
+
+    def test_bounded_campaign_still_correct(self, small_blocks, tmp_path):
+        """A cache too small for the campaign evicts but never corrupts:
+        reruns recheck the evicted properties and agree with cold."""
+        path = tmp_path / "r.json"
+        cold = FormalCampaign(small_blocks, budget_factory=_budget).run()
+        capped = lambda: ResultCache(path, max_entries=5)
+        FormalCampaign(small_blocks, budget_factory=_budget,
+                       cache=capped()).run()
+        warm = FormalCampaign(small_blocks, budget_factory=_budget,
+                              cache=capped()).run()
+        assert warm.stats["cache_hits"] == 5
+        assert warm.stats["cache_misses"] == warm.total_properties - 5
+        assert warm.canonical_bytes() == cold.canonical_bytes()
+
+
 def _mutate_truncate_half(path):
     data = path.read_text()
     path.write_text(data[: len(data) // 2])

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Docs sanity checker (CI's docs job, also runnable locally).
+
+Verifies, without any third-party dependency:
+
+1. every relative markdown link in README.md and docs/**/*.md resolves
+   to a real file or directory in the repository (anchors are stripped;
+   ``http(s)``/``mailto`` links are skipped);
+2. every file path mentioned in backticks that *looks* repo-relative
+   (starts with a known top-level directory and has an extension)
+   exists — catching docs that drift after a refactor;
+3. every example script in ``examples/`` is linked from the README's
+   examples table, so new examples cannot ship undocumented.
+
+Exit status 0 = all good; 1 = problems (each printed with file:line).
+
+Run:  python tools/check_docs.py
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: markdown inline link: [text](target)
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: backticked repo path, e.g. `src/repro/formal/workspace.py`
+CODE_PATH = re.compile(
+    r"`((?:src|tests|examples|benchmarks|docs|tools)/[\w./-]+\.\w+)`"
+)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files():
+    docs = [REPO / "README.md"]
+    docs_dir = REPO / "docs"
+    if docs_dir.is_dir():
+        docs.extend(sorted(docs_dir.rglob("*.md")))
+    return [path for path in docs if path.is_file()]
+
+
+def check_links(path, problems):
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        for match in LINK.finditer(line):
+            target = match.group(1).split("#", 1)[0]
+            if not target or target.startswith(EXTERNAL):
+                continue
+            if target.startswith("<"):
+                continue  # placeholder like <this repo>
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: "
+                    f"broken link -> {target}"
+                )
+        for match in CODE_PATH.finditer(line):
+            if not (REPO / match.group(1)).exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: "
+                    f"missing path referenced in backticks -> "
+                    f"{match.group(1)}"
+                )
+
+
+def check_examples_table(problems):
+    readme = (REPO / "README.md").read_text()
+    for script in sorted((REPO / "examples").glob("*.py")):
+        rel = f"examples/{script.name}"
+        if rel not in readme:
+            problems.append(
+                f"README.md: examples table is missing {rel}"
+            )
+
+
+def main():
+    problems = []
+    for path in doc_files():
+        check_links(path, problems)
+    check_examples_table(problems)
+    if problems:
+        print(f"{len(problems)} documentation problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs ok: {len(doc_files())} file(s) checked, "
+          f"links and examples table all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
