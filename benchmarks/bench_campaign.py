@@ -13,6 +13,12 @@ Runs the same chip campaign several ways —
    ``bdd-combined`` engine (the BDD-heaviest configuration): cold
    managers vs one shared workspace, counting total BDD node
    creations via ``repro.formal.bdd.nodes_created_total``,
+7. a config-driven adaptive-portfolio probe: a warm cache seeds the
+   engine history, then an ECO-style rerun (changed budgets, so every
+   fingerprint misses) is executed with a deliberately worst-first
+   portfolio ladder twice — ``portfolio = "static"`` vs ``"adaptive"``
+   — comparing wall time and engine attempts, with byte-identical
+   outcomes,
 
 verifies every run produces a byte-identical campaign outcome
 (``CampaignReport.canonical_bytes``), and writes a perf record to
@@ -45,20 +51,18 @@ from repro.core.campaign import FormalCampaign            # noqa: E402
 from repro.formal.bdd import nodes_created_total          # noqa: E402
 from repro.formal.workspace import BddWorkspace           # noqa: E402
 from repro.orchestrate import (                           # noqa: E402
-    CampaignCheckpoint, EngineConfig, ParallelExecutor, ResultCache,
-    SerialExecutor, WorkStealingExecutor,
+    CampaignCheckpoint, CampaignConfig, CampaignOrchestrator,
+    EngineConfig, ParallelExecutor, ResultCache, SerialExecutor,
+    WorkStealingExecutor,
 )
 
 OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_campaign.json"
 
 
-def _budget():
-    from repro.formal.budget import ResourceBudget
-    return ResourceBudget(sat_conflicts=1_000_000, bdd_nodes=10_000_000)
-
-
 def _timed_run(blocks, resume=False, **kwargs):
-    campaign = FormalCampaign(blocks, budget_factory=_budget, **kwargs)
+    config = CampaignConfig(sat_conflicts=1_000_000,
+                            bdd_nodes=10_000_000)
+    campaign = FormalCampaign(blocks, config=config, **kwargs)
     started = time.perf_counter()
     report = campaign.run(resume=resume)
     return report, time.perf_counter() - started
@@ -72,7 +76,9 @@ def _bench_workspace():
     The scope is fixed (block C, 101 properties over 13 modules) so the
     record is comparable across runs whatever ``--blocks`` selected;
     node creations are counted process-wide, which is why this probe
-    runs serially.
+    runs serially.  Campaigns now *default* to shared workspaces, so
+    the cold side opts out explicitly (``share_bdd=False``) — this
+    probe is the measurement behind that default.
     """
     blocks = ComponentChip(only_blocks=["C"]).blocks
     engines = (EngineConfig(method="bdd-combined",
@@ -81,7 +87,10 @@ def _bench_workspace():
 
     nodes_before = nodes_created_total()
     started = time.perf_counter()
-    cold = FormalCampaign(blocks, engines=engines).run()
+    cold = FormalCampaign(
+        blocks, engines=engines,
+        executor=SerialExecutor(share_bdd=False),
+    ).run()
     cold_s = time.perf_counter() - started
     cold_nodes = nodes_created_total() - nodes_before
 
@@ -123,6 +132,81 @@ def _bench_workspace():
     }
 
 
+def _bench_adaptive():
+    """Config-driven adaptive-portfolio probe on the fixed block-C
+    scope.
+
+    A first campaign with the good ladder (``kind`` first) warms a
+    shared result cache — that is the engine history.  Then an
+    ECO-style rerun (budgets nudged, so every fingerprint misses while
+    module names persist) is executed with a deliberately *worst-first*
+    ladder, once statically and once adaptively (each against its own
+    copy of the warm cache).  The adaptive policy should recover the
+    historical winner per module/category and pay fewer/cheaper engine
+    attempts for the same byte-identical outcome.
+    """
+    import dataclasses
+    import shutil
+
+    blocks = ComponentChip(only_blocks=["C"]).blocks
+    ladder = "portfolio:pobdd,bdd-combined,kind"   # worst-first
+    with tempfile.TemporaryDirectory(prefix="bench_adapt_") as tmp:
+        warm_path = os.path.join(tmp, "warm.json")
+        warm = CampaignConfig(engines="portfolio:kind,bdd-combined,pobdd",
+                              sat_conflicts=1_000_000,
+                              bdd_nodes=10_000_000,
+                              cache_path=warm_path)
+        CampaignOrchestrator(blocks, config=warm).run()
+
+        static_path = os.path.join(tmp, "static.json")
+        adaptive_path = os.path.join(tmp, "adaptive.json")
+        shutil.copy(warm_path, static_path)
+        shutil.copy(warm_path, adaptive_path)
+        eco = CampaignConfig(engines=ladder, sat_conflicts=900_000,
+                             bdd_nodes=10_000_000)
+
+        started = time.perf_counter()
+        static = CampaignOrchestrator(
+            blocks, config=dataclasses.replace(eco,
+                                               cache_path=static_path),
+        ).run()
+        static_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        adaptive = CampaignOrchestrator(
+            blocks, config=dataclasses.replace(eco,
+                                               cache_path=adaptive_path,
+                                               portfolio="adaptive"),
+        ).run()
+        adaptive_s = time.perf_counter() - started
+
+    identical = adaptive.canonical_bytes() == static.canonical_bytes()
+    print(f"  static worst-first: {static_s:7.2f}s "
+          f"(attempts {static.stats['engine_attempts']})")
+    print(f"  adaptive portfolio: {adaptive_s:7.2f}s "
+          f"(attempts {adaptive.stats['engine_attempts']}, "
+          f"{adaptive.stats['portfolio_reordered']} jobs reordered)")
+    if not identical:
+        print("  WARNING: adaptive-portfolio outcome diverged!")
+    return {
+        "scope": "block C",
+        "ladder": ladder,
+        "properties": static.total_properties,
+        "seconds": {
+            "static": round(static_s, 3),
+            "adaptive": round(adaptive_s, 3),
+        },
+        "speedup_adaptive_vs_static": round(static_s / adaptive_s, 2)
+        if adaptive_s else 0.0,
+        "engine_attempts": {
+            "static": static.stats["engine_attempts"],
+            "adaptive": adaptive.stats["engine_attempts"],
+        },
+        "jobs_reordered": adaptive.stats["portfolio_reordered"],
+        "outcomes_identical": identical,
+    }
+
+
 def _truncate_journal(path, keep_fraction):
     """Keep the header plus the first ``keep_fraction`` of the entries —
     the on-disk state of a campaign killed partway through."""
@@ -156,14 +240,20 @@ def main():
     print(f"  serial cold:        {serial_s:7.2f}s "
           f"({serial_report.total_properties} properties)")
 
+    # campaigns default to share_bdd=True, and explicit executor
+    # objects bypass the config — opt the pools in so the serial/pool
+    # comparison stays like-for-like on workspace sharing
     parallel_report, parallel_s = _timed_run(
-        chip.blocks, executor=ParallelExecutor(processes=workers)
+        chip.blocks,
+        executor=ParallelExecutor(processes=workers, share_bdd=True),
     )
     print(f"  parallel cold:      {parallel_s:7.2f}s "
           f"({parallel_report.stats['executor']})")
 
     stealing_report, stealing_s = _timed_run(
-        chip.blocks, executor=WorkStealingExecutor(processes=workers)
+        chip.blocks,
+        executor=WorkStealingExecutor(processes=workers,
+                                      share_bdd=True),
     )
     print(f"  work-stealing cold: {stealing_s:7.2f}s "
           f"({stealing_report.stats['executor']})")
@@ -196,6 +286,7 @@ def main():
               f"{kept} journal entries)")
 
     workspace_record = _bench_workspace()
+    adaptive_record = _bench_adaptive()
 
     reports = {
         "serial": serial_report, "parallel": parallel_report,
@@ -252,12 +343,14 @@ def main():
         "tables_identical": tables_identical,
         "outcomes_identical": outcomes_identical,
         "shared_workspace": workspace_record,
+        "adaptive_portfolio": adaptive_record,
     }
     OUT_PATH.parent.mkdir(exist_ok=True)
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"  perf record -> {OUT_PATH}")
     all_identical = (tables_identical and outcomes_identical
-                     and workspace_record["outcomes_identical"])
+                     and workspace_record["outcomes_identical"]
+                     and adaptive_record["outcomes_identical"])
     return 0 if all_identical else 1
 
 

@@ -34,7 +34,7 @@ from repro.formal.budget import ResourceBudget
 from repro.formal.equivalence import (
     check_equivalence, injection_transparent,
 )
-from repro.orchestrate import ResultCache
+from repro.orchestrate import CampaignConfig, ResultCache
 from repro.rtl.inject import make_verifiable
 
 
@@ -43,8 +43,9 @@ def budget():
 
 
 def run_campaign(chip, cache):
-    campaign = FormalCampaign(chip.blocks, budget_factory=budget,
-                              cache=cache)
+    config = CampaignConfig(sat_conflicts=500_000,
+                            bdd_nodes=5_000_000)
+    campaign = FormalCampaign(chip.blocks, config=config, cache=cache)
     report = campaign.run()
     stats = report.stats
     print(f"  {format_status_summary(report)}")

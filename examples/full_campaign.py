@@ -12,9 +12,11 @@ Plays both roles of the paper's flow:
 By default runs blocks A and C (~456 properties, a couple of minutes);
 pass ``--full`` for the whole 2047-property chip, ``--defects`` to seed
 all seven bugs and watch the feedback path light up.  The campaign runs
-through the job orchestrator: ``--jobs N`` checks properties on N
-worker processes, ``--cache FILE`` replays unchanged verdicts from a
-previous run (incremental rerun).
+through the job orchestrator, parameterised by one declarative
+``CampaignConfig`` (the same object ``python -m repro`` runs from a
+TOML file): ``--jobs N`` checks properties on N worker processes,
+``--cache FILE`` replays unchanged verdicts from a previous run
+(incremental rerun).
 
 Run:  python examples/full_campaign.py [--full] [--defects]
                                        [--jobs N] [--cache FILE]
@@ -25,8 +27,7 @@ import argparse
 from repro.chip import ALL_DEFECT_IDS, ComponentChip
 from repro.core.campaign import FormalCampaign
 from repro.core.report import format_status_summary, format_table2
-from repro.formal.budget import ResourceBudget
-from repro.orchestrate import ParallelExecutor, ResultCache
+from repro.orchestrate import CampaignConfig
 
 
 def main():
@@ -49,14 +50,14 @@ def main():
     seeded = "with all seven defects" if args.defects else "bug-free"
     print(f"Campaign over {scope}, {seeded} chip\n")
 
-    campaign = FormalCampaign(
-        chip.blocks,
-        budget_factory=lambda: ResourceBudget(sat_conflicts=1_000_000,
-                                              bdd_nodes=10_000_000),
-        executor=(ParallelExecutor(processes=args.jobs)
-                  if args.jobs is not None else None),
-        cache=ResultCache(args.cache) if args.cache else None,
+    config = CampaignConfig(
+        sat_conflicts=1_000_000,
+        bdd_nodes=10_000_000,
+        executor=(f"parallel:{args.jobs}" if args.jobs is not None
+                  else "serial"),
+        cache_path=args.cache,
     )
+    campaign = FormalCampaign(chip.blocks, config=config)
     done = [0]
 
     def progress(line):

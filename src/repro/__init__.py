@@ -21,10 +21,15 @@ Subpackages
     leaf-module scoping, divide-and-conquer property partitioning, and
     the formal verification campaign.
 ``repro.orchestrate``
-    Job-based campaign orchestration: check-job planning, serial and
-    multiprocessing executors, per-job engine portfolios, the
-    fingerprint-keyed incremental result cache, crash-safe
+    Job-based campaign orchestration: the declarative, serializable
+    ``CampaignConfig``, pluggable scheduling/portfolio policies,
+    check-job planning, serial and multiprocessing executors, per-job
+    engine portfolios, the fingerprint-keyed incremental result cache
+    (merge-safe across concurrent campaigns), crash-safe
     checkpoint/resume, and shared per-module BDD workspaces.
+``repro.cli``
+    The ``python -m repro`` command line: a whole campaign run,
+    resumed, or inspected from one TOML config file.
 ``repro.synth``
     Gate-level lowering, area model and static timing analysis for the
     design-impact study (Table 4).

@@ -1,0 +1,156 @@
+"""``python -m repro`` — the campaign CLI.
+
+One TOML file reproduces one campaign::
+
+    python -m repro campaign run    --config campaign.toml
+    python -m repro campaign resume --config campaign.toml
+    python -m repro campaign report --config campaign.toml
+
+- ``run`` executes the configured campaign over the component chip
+  (``[campaign] blocks`` selects the block subset) and prints the
+  paper's Table 2 plus the orchestration stats.  The exit code gates
+  CI: 0 when every property passed, 1 when any FAILed or TIMEOUTed,
+  2 on a config error;
+- ``resume`` restarts a killed campaign from its checkpoint journal
+  (the config must set ``[checkpoint] path``) — the finished report is
+  byte-identical to an uninterrupted run;
+- ``report`` is read-only: it re-derives the plan, inspects the
+  journal and the result cache, and prints how much of the campaign is
+  already settled — without running a single engine or writing a byte.
+
+Every command prints the config digest, the same value stamped into
+``CampaignReport.stats["config_digest"]``, so output and configuration
+can always be matched up after the fact.
+
+The console entry point ``repro`` (see ``setup.py``) is this module's
+:func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .orchestrate.config import CampaignConfig, ConfigError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Formal verification campaigns, reproducible from "
+                    "one TOML config file.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    campaign = commands.add_parser(
+        "campaign", help="run, resume, or inspect a formal campaign"
+    )
+    actions = campaign.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("run", "run the configured campaign from scratch"),
+        ("resume", "resume a killed campaign from its checkpoint "
+                   "journal"),
+        ("report", "read-only status: plan size, journal and cache "
+                   "coverage"),
+    ):
+        sub = actions.add_parser(action, help=help_text)
+        sub.add_argument("--config", required=True, metavar="TOML",
+                         help="campaign config file "
+                              "(see docs/configuration.md)")
+        if action in ("run", "resume"):
+            sub.add_argument("--progress", action="store_true",
+                             help="print one line per checked property")
+    return parser
+
+
+def _blocks(config: CampaignConfig):
+    """The chip scope the config selects (late import: the CLI is the
+    only orchestrate consumer that knows about the chip layer)."""
+    from .chip import ComponentChip
+    only = list(config.blocks) if config.blocks is not None else None
+    return ComponentChip(only_blocks=only).blocks
+
+
+def _run(config: CampaignConfig, resume: bool, progress: bool) -> int:
+    from .core.report import format_status_summary, format_table2
+    from .orchestrate import CampaignOrchestrator
+
+    if resume and config.checkpoint_path is None:
+        print("error: resume needs [checkpoint] path in the config",
+              file=sys.stderr)
+        return 2
+    orchestrator = CampaignOrchestrator(_blocks(config), config=config)
+    report = orchestrator.run(
+        progress=print if progress else None, resume=resume
+    )
+    stats = report.stats
+    print(format_table2(report))
+    print()
+    print(format_status_summary(report))
+    print()
+    print(f"executor:       {stats['executor']} "
+          f"(scheduling={stats['scheduling']}, "
+          f"portfolio={stats['portfolio_policy']})")
+    print(f"jobs:           {stats['jobs']} "
+          f"({stats['journal_replayed']} journal-replayed, "
+          f"{stats['cache_hits']} cache hits)")
+    if stats["engine_attempts"]:
+        attempts = ", ".join(
+            f"{method}={count}" for method, count
+            in sorted(stats["engine_attempts"].items())
+        )
+        print(f"engine attempts: {attempts} "
+              f"({stats['portfolio_reordered']} reordered by policy)")
+    print(f"config digest:  {stats['config_digest']}")
+    # gate CI on the verification outcome, like the benchmarks do:
+    # a campaign that surfaced a FAIL (or starved into TIMEOUT) must
+    # not exit green
+    return 0 if report.all_passed else 1
+
+
+def _report(config: CampaignConfig) -> int:
+    """Read-only campaign status: how much is already settled."""
+    from .orchestrate import CampaignOrchestrator, plan_digest
+
+    orchestrator = CampaignOrchestrator(_blocks(config), config=config)
+    plan = orchestrator.plan()
+    journaled = {}
+    if orchestrator.checkpoint is not None:
+        journaled = orchestrator.checkpoint.load(
+            plan_digest(plan), plan.total_jobs
+        )
+    cached = 0
+    if orchestrator.cache is not None:
+        cached = sum(
+            job.fingerprint in orchestrator.cache
+            for job in plan.jobs if job.index not in journaled
+        )
+    remaining = plan.total_jobs - len(journaled) - cached
+    print(f"campaign over blocks "
+          f"{', '.join(plan.block_order) or '(none)'}: "
+          f"{plan.total_jobs} jobs across "
+          f"{len(plan.modules_planned())} modules")
+    print(f"  journal:  {len(journaled)} replayable "
+          f"({config.checkpoint_path or 'not configured'})")
+    print(f"  cache:    {cached} hits pending "
+          f"({config.cache_path or 'not configured'})")
+    print(f"  to run:   {remaining}")
+    print(f"  config digest: {config.digest()}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        config = CampaignConfig.load(args.config)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "report":
+        return _report(config)
+    return _run(config, resume=args.action == "resume",
+                progress=args.progress)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

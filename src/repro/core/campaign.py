@@ -19,12 +19,15 @@ engineer ran — lint the Verifiable RTL, generate the stereotype vunits
   :class:`CampaignReport` (:mod:`repro.orchestrate.orchestrator`).
 
 :class:`FormalCampaign` is the compatibility façade over that
-machinery: same constructor, same ``run(progress)``, same report — plus
-``executor=``, ``cache=``, and ``engines=`` knobs for the new
-capabilities.  The report dataclasses (:class:`PropertyResult`,
-:class:`BlockSummary`, :class:`CampaignReport`) remain the public
-result model that report rendering (:mod:`repro.core.report`) and the
-benchmarks consume.
+machinery: same constructor, same ``run(progress)``, same report — now
+parameterised by one declarative
+:class:`~repro.orchestrate.config.CampaignConfig` (``config=``), with
+the paper-era kwargs accepted, mapped onto the config, and
+soft-deprecated, and the component objects (``executor=``, ``cache=``,
+``checkpoint=``, ``engines=``) kept as programmatic overrides.  The
+report dataclasses (:class:`PropertyResult`, :class:`BlockSummary`,
+:class:`CampaignReport`) remain the public result model that report
+rendering (:mod:`repro.core.report`) and the benchmarks consume.
 """
 
 from __future__ import annotations
@@ -148,16 +151,30 @@ class CampaignReport:
         are byte-identical here whatever executor, cache state, or
         checkpoint-resume path produced them; the orchestrator's tests
         enforce exactly that.
+
+        For a multi-stage engine portfolio, *which* stage happened to
+        settle the check is provenance too: every stage is sound (the
+        verdict is stage-order-invariant, and counterexamples are
+        concretised by the same deterministic BMC run), but the winner
+        — and its engine-specific proof bound — varies with the attempt
+        order a portfolio policy picks.  Portfolio results are
+        therefore canonicalised to engine ``"portfolio"`` with no proof
+        depth (counterexample frames, which carry the real outcome,
+        stay); the winning stage remains visible in
+        ``result.stats["portfolio"]``.
         """
         results = []
         for record in self.results:
             trace = record.result.trace
             frames = None if trace is None else trace.canonical_frames()
+            engine = record.result.engine
+            depth = record.result.depth
+            if engine.startswith("portfolio:"):
+                engine, depth = "portfolio", None
             results.append([
                 record.block, record.module_name, record.vunit_name,
                 record.assert_name, record.category,
-                record.result.status, record.result.engine,
-                record.result.depth, frames,
+                record.result.status, engine, depth, frames,
             ])
         blocks = [
             [name, block.submodules, block.bugs,
@@ -177,64 +194,95 @@ class FormalCampaign:
     must carry Verifiable RTL and an integrity spec; modules that the
     scoping rule excludes are skipped (and recorded).
 
-    ``budget_factory`` builds a fresh resource budget per property; the
-    default is generous enough for every leaf problem and trips only on
-    genuinely oversized cones (the Figure 7 scenario).  Only the
-    factory's *limits* matter — the orchestrator rebuilds an equivalent
-    budget per job so that checks never share spent counters, even
-    across processes.
+    The campaign is parameterised by one declarative
+    :class:`~repro.orchestrate.config.CampaignConfig` — the
+    serializable object that also drives the ``python -m repro`` CLI
+    and is stamped (as a digest) into ``report.stats``::
 
-    The orchestration knobs (all optional, all defaulting to the legacy
-    behaviour):
+        config = CampaignConfig(executor="workstealing:4",
+                                engines="portfolio:kind,bdd-combined")
+        FormalCampaign(chip.blocks, config=config).run()
 
-    - ``executor`` — a :class:`~repro.orchestrate.executor.SerialExecutor`
-      (default), :class:`~repro.orchestrate.executor.ParallelExecutor`,
-      or :class:`~repro.orchestrate.executor.WorkStealingExecutor`
-      (or anything honouring the results-in-plan-order contract);
-    - ``cache`` — a :class:`~repro.orchestrate.cache.ResultCache` for
-      incremental reruns;
-    - ``checkpoint`` — a
-      :class:`~repro.orchestrate.checkpoint.CampaignCheckpoint`
-      journaling completed jobs, so a killed campaign restarts with
-      ``run(resume=True)`` and replays only the unfinished remainder;
-    - ``engines`` — an explicit engine portfolio (tuple of
-      :class:`~repro.orchestrate.job.EngineConfig`), overriding
-      ``method``/``max_k``/``budget_factory``.
+    Everything else on the constructor is the **legacy kwarg layer**,
+    accepted for compatibility and mapped onto the config
+    (see ``docs/configuration.md`` for the migration table):
+
+    - ``method`` / ``max_k`` / ``budget_factory`` — the paper-era
+      single-engine knobs; mapped to the config's ``engines`` spec and
+      budget fields.  Only the factory's *limits* matter — the
+      orchestrator rebuilds an equivalent budget per job so checks
+      never share spent counters, even across processes.  These three
+      are soft-deprecated: passing them emits a
+      :class:`DeprecationWarning` (existing call sites keep working).
+    - ``executor`` / ``cache`` / ``checkpoint`` / ``engines`` —
+      component-object overrides; an explicit object wins over the
+      config's corresponding spec.
+
+    Note the default-flip that came with the config API: campaigns now
+    run with shared per-module BDD workspaces (``share_bdd = true``)
+    unless configured otherwise — outcome-invariant under the default
+    non-binding budgets, measurably cheaper, with
+    ``CampaignConfig(share_bdd=False)`` as the escape hatch.
     """
 
     def __init__(self, blocks: Sequence[Tuple[str, Sequence[Module]]],
-                 method: str = "auto", max_k: int = 40,
+                 method: Optional[str] = None,
+                 max_k: Optional[int] = None,
                  budget_factory: Optional[Callable[[], ResourceBudget]] = None,
-                 lint: bool = True, executor=None, cache=None,
-                 checkpoint=None, engines=None) -> None:
+                 lint: Optional[bool] = None,
+                 executor=None, cache=None,
+                 checkpoint=None, engines=None,
+                 config=None) -> None:
         self.blocks = [(name, list(mods)) for name, mods in blocks]
-        self.method = method
-        self.max_k = max_k
-        self.budget_factory = budget_factory or (
-            lambda: ResourceBudget(sat_conflicts=200_000, bdd_nodes=2_000_000)
-        )
+        if config is None:
+            from ..orchestrate.config import CampaignConfig
+            config = CampaignConfig()
+        config = self._map_legacy(config, method, max_k, budget_factory)
+        self.config = config
         self.lint = lint
         self.executor = executor
         self.cache = cache
         self.checkpoint = checkpoint
         self.engines = tuple(engines) if engines else None
 
+    @staticmethod
+    def _map_legacy(config, method, max_k, budget_factory):
+        """Fold the paper-era kwargs into the config (with a soft
+        deprecation nudge) so the run is still described — and
+        digested — by one config object."""
+        import warnings
+        from dataclasses import replace
+        legacy = {}
+        if method is not None:
+            legacy["engines"] = method
+        if max_k is not None:
+            legacy["max_k"] = max_k
+        if budget_factory is not None:
+            budget = budget_factory()
+            legacy["sat_conflicts"] = budget.sat_conflicts
+            legacy["bdd_nodes"] = budget.bdd_nodes
+        if legacy:
+            warnings.warn(
+                "FormalCampaign(method=/max_k=/budget_factory=) is "
+                "deprecated; pass config=CampaignConfig("
+                f"{', '.join(sorted(legacy))}, ...) instead",
+                DeprecationWarning, stacklevel=3,
+            )
+            config = replace(config, **legacy)
+        return config
+
     # ------------------------------------------------------------------
     def run(self, progress: Optional[Callable[[str], None]] = None,
             resume: bool = False) -> CampaignReport:
-        from ..orchestrate import CampaignOrchestrator, EngineConfig
+        from ..orchestrate import CampaignOrchestrator
 
-        engines = self.engines
-        if engines is None:
-            engines = (EngineConfig.from_budget(
-                self.budget_factory(), method=self.method, max_k=self.max_k
-            ),)
         orchestrator = CampaignOrchestrator(
             self.blocks,
-            engines=engines,
+            engines=self.engines,
             executor=self.executor,
             cache=self.cache,
             checkpoint=self.checkpoint,
             lint=self.lint,
+            config=self.config,
         )
         return orchestrator.run(progress, resume=resume)

@@ -3,6 +3,16 @@
 This package turns the paper's serial check-everything loop into a
 scheduled, restartable job graph:
 
+- :mod:`~repro.orchestrate.config` — :class:`CampaignConfig`, the
+  frozen, serializable description of a whole campaign (engine and
+  executor string specs, policies, cache/checkpoint paths, budgets),
+  round-trippable through dicts and TOML and stamped (as a digest)
+  into every report — the object the ``python -m repro`` CLI runs
+  from;
+- :mod:`~repro.orchestrate.policy` — pluggable scheduling
+  (fifo / module-affinity work-queue batching) and portfolio
+  (static / cache-history-adaptive attempt ordering) policies, both
+  outcome-invariant by construction;
 - :mod:`~repro.orchestrate.job` — :class:`CheckJob` (one property
   check: module + vunit + assertion + engine portfolio), content
   fingerprints, and the portfolio runner;
@@ -97,6 +107,14 @@ from .planner import CampaignPlan, plan_campaign
 from .executor import ParallelExecutor, SerialExecutor, WorkStealingExecutor
 from .cache import ResultCache, decode_result, encode_result
 from .checkpoint import CampaignCheckpoint, plan_digest
+from .config import (
+    CampaignConfig, ConfigError, parse_engines_spec, parse_executor_spec,
+)
+from .policy import (
+    AdaptivePortfolio, FifoScheduling, ModuleAffinityScheduling,
+    PortfolioPolicy, SchedulingPolicy, StaticPortfolio,
+    portfolio_policy, scheduling_policy,
+)
 from .orchestrator import CampaignOrchestrator
 
 __all__ = [
@@ -107,5 +125,10 @@ __all__ = [
     "ParallelExecutor", "SerialExecutor", "WorkStealingExecutor",
     "ResultCache", "decode_result", "encode_result",
     "CampaignCheckpoint", "plan_digest",
+    "CampaignConfig", "ConfigError",
+    "parse_engines_spec", "parse_executor_spec",
+    "AdaptivePortfolio", "FifoScheduling", "ModuleAffinityScheduling",
+    "PortfolioPolicy", "SchedulingPolicy", "StaticPortfolio",
+    "portfolio_policy", "scheduling_policy",
     "CampaignOrchestrator",
 ]

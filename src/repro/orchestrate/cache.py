@@ -28,10 +28,20 @@ Safety rules, in order of importance:
 
 The store is a single JSON file, loaded on construction and written by
 :meth:`ResultCache.flush` (the orchestrator flushes once per run).
-Flush stages the payload in a uniquely-named temp file (pid + random
-suffix) before the atomic rename, so concurrent campaigns sharing one
-cache path can flush simultaneously: last writer wins, and the store on
-disk is always one writer's complete, valid JSON.
+Flush **merges before it writes**: the on-disk store is re-read and
+unioned with this run's entries — recency-preserving (the JSON key
+order is the LRU order on both sides), newest verdict wins per
+fingerprint (entries carry a ``stored_at`` wall-clock stamp; a missing
+stamp counts as oldest) — and the merged store is staged in a
+uniquely-named temp file (pid + random suffix) before the atomic
+rename.  Two concurrent campaigns sharing one cache path therefore
+both keep their fresh verdicts whatever order their flushes land in;
+the store on disk is always one writer's complete, valid JSON.  The
+one exception to the union: entries this cache evicted as *unsafe*
+(failed replay, malformed) are tombstoned for the lifetime of this
+instance and not resurrected from disk — unless the disk entry was
+stored *after* the eviction, in which case it is a rival campaign's
+fresh re-verified verdict, not the corpse, and survives the merge.
 
 ``max_entries`` bounds the store: entries are kept in
 least-recently-used order (a hit refreshes recency, so a nightly ECO
@@ -56,8 +66,9 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import uuid
-from typing import Dict, Optional
+from typing import Dict, Optional, Set, Tuple
 
 from .. import __version__
 from ..formal.engine import CheckResult, FAIL, PASS, TIMEOUT, UNKNOWN
@@ -144,6 +155,12 @@ class ResultCache:
         self.max_entries = max_entries
         self._entries: Dict[str, dict] = self._load()
         self._dirty = False
+        #: fingerprint -> eviction time for entries evicted as *unsafe*
+        #: (failed replay, malformed); a flush-merge must not
+        #: resurrect the evicted entry from disk — but a rival
+        #: campaign's entry written *after* the eviction is a fresh
+        #: verdict, not the corpse, and survives
+        self._tombstones: Dict[str, float] = {}
         # a store larger than the cap (the cap shrank between runs) is
         # trimmed in memory only — the trim reaches disk when this run
         # stores something, so a hits-only reader stays a reader and
@@ -168,15 +185,29 @@ class ResultCache:
                 if isinstance(value, dict)}
 
     def flush(self) -> None:
-        """Persist the store (atomic rename) if anything changed.
+        """Merge with the on-disk store, then persist atomically.
+
+        A shared cache path may have been flushed by a concurrent
+        campaign since this cache loaded its snapshot; writing the
+        snapshot back verbatim would discard that campaign's fresh
+        verdicts (last-writer-wins data loss).  Flush therefore
+        re-reads the store and merges — union of both entry sets,
+        recency order preserved (disk's colder entries first, the
+        newest entry per fingerprint at its most-recent position),
+        newest ``stored_at`` winning when both sides hold the same
+        fingerprint — before the atomic rename.  Unsafe entries this
+        instance tombstoned are excluded from the union, and the LRU
+        cap is re-applied to the merged store.
 
         The temp file name is unique per flush (pid + random suffix):
-        two campaigns sharing one cache path may flush concurrently,
-        and each rename atomically installs one writer's complete
-        store — never an interleaving of both.
+        two campaigns may still flush simultaneously, and each rename
+        atomically installs one writer's complete merged store — never
+        an interleaving of both.
         """
         if not self._dirty:
             return
+        self._entries = self._merge(self._load(), self._entries)
+        self._evict()
         payload = {"version": self.VERSION, "repro_version": __version__,
                    "entries": self._entries}
         tmp_path = f"{self.path}.tmp.{os.getpid()}.{uuid.uuid4().hex}"
@@ -193,6 +224,22 @@ class ResultCache:
                 pass
             raise
         self._dirty = False
+
+    def _merge(self, disk: Dict[str, dict],
+               ours: Dict[str, dict]) -> Dict[str, dict]:
+        """Union ``disk`` (a concurrent writer's store) with ``ours``,
+        recency-preserving, newest verdict winning per fingerprint."""
+        merged: Dict[str, dict] = {
+            fingerprint: entry for fingerprint, entry in disk.items()
+            if _stored_at(entry) > self._tombstones.get(fingerprint,
+                                                        -1.0)
+        }
+        for fingerprint, entry in ours.items():
+            rival = merged.pop(fingerprint, None)
+            if rival is not None and _stored_at(rival) > _stored_at(entry):
+                entry = rival
+            merged[fingerprint] = entry
+        return merged
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -212,13 +259,53 @@ class ResultCache:
         return dropped
 
     # ------------------------------------------------------------------
-    def store(self, fingerprint: str, result: CheckResult) -> None:
+    def store(self, fingerprint: str, result: CheckResult,
+              job: Optional[CheckJob] = None) -> None:
         """Record one result (trace frames included for FAIL) at the
-        most-recent end, evicting past ``max_entries``."""
+        most-recent end, evicting past ``max_entries``.
+
+        Entries are stamped with a wall-clock ``stored_at`` (what
+        flush-merge arbitrates concurrent writers by) and, when the
+        producing ``job`` is given, with its module name and property
+        category — the key the adaptive portfolio policy's engine
+        history (:meth:`engine_history`) is aggregated under.
+        """
+        entry = encode_result(result)
+        entry["stored_at"] = time.time()
+        if job is not None:
+            entry["module"] = job.module.name
+            entry["category"] = job.category
         self._entries.pop(fingerprint, None)
-        self._entries[fingerprint] = encode_result(result)
+        self._tombstones.pop(fingerprint, None)
+        self._entries[fingerprint] = entry
         self._evict()
         self._dirty = True
+
+    # ------------------------------------------------------------------
+    def engine_history(self) -> Dict[Tuple[Optional[str], str], str]:
+        """Historical winning engines, from the cached verdicts.
+
+        Returns ``{(module name, category): method}`` — the portfolio
+        stage (or single engine) that most recently produced a
+        definitive PASS/FAIL for that module/category — plus
+        category-wide fallbacks under ``(None, category)``.  Entries
+        are scanned in recency order, so the newest verdict wins; this
+        is what :class:`~repro.orchestrate.policy.AdaptivePortfolio`
+        seeds its attempt ordering from.
+        """
+        history: Dict[Tuple[Optional[str], str], str] = {}
+        for entry in self._entries.values():
+            method = _winning_method(entry)
+            if method is None:
+                continue
+            category = entry.get("category")
+            if not isinstance(category, str):
+                continue
+            history[(None, category)] = method
+            module = entry.get("module")
+            if isinstance(module, str):
+                history[(module, category)] = method
+        return history
 
     # ------------------------------------------------------------------
     def lookup(self, fingerprint: str, job: CheckJob,
@@ -245,9 +332,40 @@ class ResultCache:
         except Exception:
             # malformed entry, unknown signal, failed replay... — all
             # degrade to a miss and an eviction, never a wrong verdict
+            # (tombstoned so flush-merge cannot resurrect it from disk)
             self._entries.pop(fingerprint, None)
+            self._tombstones[fingerprint] = time.time()
             self._dirty = True
             return None
+
+
+def _stored_at(entry: dict) -> float:
+    """An entry's write timestamp; entries from before the stamp was
+    introduced (or mangled ones) count as oldest."""
+    value = entry.get("stored_at")
+    return float(value) if isinstance(value, (int, float)) \
+        and not isinstance(value, bool) else 0.0
+
+
+def _winning_method(entry: dict) -> Optional[str]:
+    """The portfolio stage (or engine) that settled a cached entry,
+    or ``None`` for non-definitive / unintelligible entries."""
+    if entry.get("status") not in (PASS, FAIL):
+        return None
+    stats = entry.get("stats")
+    attempts = stats.get("portfolio") if isinstance(stats, dict) else None
+    if isinstance(attempts, list) and attempts:
+        last = attempts[-1]
+        if isinstance(last, dict) and isinstance(last.get("engine"), str):
+            return last["engine"]
+        return None
+    engine = entry.get("engine")
+    if not isinstance(engine, str) or not engine:
+        return None
+    # "portfolio:auto:kind" -> "auto:kind" -> stage method "auto"
+    if engine.startswith("portfolio:"):
+        engine = engine[len("portfolio:"):]
+    return engine.split(":", 1)[0] or None
 
 
 def _jsonable(value):

@@ -1,0 +1,531 @@
+"""Declarative campaign configuration — one serializable object.
+
+A :class:`CampaignConfig` captures *everything* that parameterises a
+formal campaign — engine portfolio, executor, scheduling and portfolio
+policies, result cache, checkpoint journal, shared-BDD workspace
+valves, resource budgets, scope — as plain frozen data.  That buys the
+methodology its missing property: a campaign's full configuration is
+
+- **serializable** — ``to_dict()`` / ``from_dict()`` round-trip through
+  plain JSON-able dicts, and ``to_toml()`` / ``CampaignConfig.load()``
+  through a TOML file, so one ``campaign.toml`` reproduces the whole
+  run (``python -m repro campaign run --config campaign.toml``);
+- **diffable** — two configs differ exactly where their TOML differs;
+- **fingerprinted** — :meth:`digest` hashes the canonical dict, is
+  stable under key order, and is stamped into
+  ``CampaignReport.stats["config_digest"]`` so every report names the
+  configuration that produced it.
+
+Compact string specs stand in for object graphs:
+
+- ``executor = "workstealing:4"`` — ``serial``, ``parallel[:N]``, or
+  ``workstealing[:N]`` (``work-stealing`` accepted too); ``N`` is the
+  worker-process count, defaulting to the machine's CPU count;
+- ``engines = "portfolio:kind,bdd-combined,pobdd"`` — a single engine
+  name runs one stage; ``portfolio:`` prefixes a comma-separated stage
+  ladder; bare ``portfolio`` is the default ladder
+  (:data:`~repro.orchestrate.job.DEFAULT_PORTFOLIO_METHODS`).
+
+Malformed specs raise :class:`ConfigError` naming the offending value
+and the accepted grammar.  ``CampaignOrchestrator`` and the
+``FormalCampaign`` façade both build their components from a config
+(``CampaignOrchestrator(blocks, config=...)``); the legacy per-component
+kwargs are still accepted as overrides and map onto the config
+defaults (see :mod:`repro.orchestrate.orchestrator`).
+
+The default config **is** the default campaign: single ``auto`` engine
+with the classic budgets, serial executor, no cache, no checkpoint —
+with one deliberate change of default: ``share_bdd = true``.  Shared
+per-module BDD workspaces are outcome-invariant while no node budget
+binds (the default regime) and measurably cheaper, so campaigns now
+share by default; ``share_bdd = false`` is the escape hatch where
+strict run-to-run byte-equality under *binding* node budgets matters
+more than throughput (see ``docs/configuration.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from ..formal.engine import registered_engines
+from .job import DEFAULT_PORTFOLIO_METHODS, EngineConfig
+from .policy import (
+    PORTFOLIO_POLICIES, SCHEDULING_POLICIES, portfolio_policy,
+    scheduling_policy,
+)
+
+
+class ConfigError(ValueError):
+    """A malformed campaign configuration (bad spec, unknown key,
+    wrong type).  Subclasses ``ValueError`` so ad-hoc callers can catch
+    broadly; the message always names the offending value."""
+
+
+#: executor spec aliases -> canonical kind
+_EXECUTOR_KINDS = {
+    "serial": "serial",
+    "parallel": "parallel",
+    "workstealing": "work-stealing",
+    "work-stealing": "work-stealing",
+}
+
+
+def parse_executor_spec(spec: str) -> Tuple[str, Optional[int]]:
+    """Parse an executor spec into ``(kind, processes)``.
+
+    Grammar: ``serial`` | ``parallel[:N]`` | ``workstealing[:N]``
+    (``work-stealing`` is accepted as an alias).  ``N`` must be a
+    positive integer; ``serial`` takes no argument.
+    """
+    if not isinstance(spec, str):
+        raise ConfigError(f"executor spec must be a string, got {spec!r}")
+    kind_text, sep, arg = spec.partition(":")
+    kind = _EXECUTOR_KINDS.get(kind_text.strip())
+    if kind is None:
+        raise ConfigError(
+            f"unknown executor {kind_text.strip()!r} in spec {spec!r}; "
+            f"expected serial, parallel[:N], or workstealing[:N]"
+        )
+    if not sep:
+        return kind, None
+    if kind == "serial":
+        raise ConfigError(
+            f"executor spec {spec!r}: serial takes no worker count"
+        )
+    try:
+        processes = int(arg)
+    except ValueError:
+        processes = 0
+    if processes < 1:
+        raise ConfigError(
+            f"executor spec {spec!r}: worker count must be a positive "
+            f"integer, got {arg!r}"
+        )
+    return kind, processes
+
+
+def parse_engines_spec(spec: str) -> Tuple[str, ...]:
+    """Parse an engines spec into the ordered stage-method tuple.
+
+    Grammar: ``<engine>`` (single stage) | ``portfolio`` (the default
+    ladder) | ``portfolio:m1,m2,...`` (explicit ladder).  Every method
+    must be a registered engine; duplicates are rejected.
+    """
+    if not isinstance(spec, str):
+        raise ConfigError(f"engines spec must be a string, got {spec!r}")
+    text = spec.strip()
+    if text == "portfolio":
+        return DEFAULT_PORTFOLIO_METHODS
+    if text.startswith("portfolio:"):
+        methods = tuple(
+            method.strip()
+            for method in text[len("portfolio:"):].split(",")
+            if method.strip()
+        )
+        if not methods:
+            raise ConfigError(
+                f"engines spec {spec!r}: portfolio needs at least one "
+                f"stage, e.g. portfolio:kind,bdd-combined"
+            )
+    else:
+        methods = (text,)
+    known = registered_engines()
+    for method in methods:
+        if method not in known:
+            raise ConfigError(
+                f"engines spec {spec!r}: unknown engine {method!r}; "
+                f"registered engines are {known}"
+            )
+    if len(set(methods)) != len(methods):
+        raise ConfigError(
+            f"engines spec {spec!r}: duplicate stages"
+        )
+    return methods
+
+
+#: (TOML section, key) -> dataclass field, in documentation order.
+#: ``to_dict``/``from_dict``/``to_toml`` and the docs drift-checker in
+#: ``tools/check_docs.py`` all derive from this one table.
+CONFIG_SCHEMA: Dict[str, Dict[str, str]] = {
+    "campaign": {
+        "blocks": "blocks",
+        "lint": "lint",
+    },
+    "engines": {
+        "spec": "engines",
+        "sat_conflicts": "sat_conflicts",
+        "bdd_nodes": "bdd_nodes",
+        "max_bound": "max_bound",
+        "max_k": "max_k",
+        "unique_states": "unique_states",
+        "num_window_vars": "num_window_vars",
+    },
+    "execution": {
+        "executor": "executor",
+        "scheduling": "scheduling",
+        "portfolio": "portfolio",
+        "share_bdd": "share_bdd",
+    },
+    "workspace": {
+        "max_managers": "workspace_max_managers",
+        "retain_memos": "workspace_retain_memos",
+        "max_manager_nodes": "workspace_max_manager_nodes",
+    },
+    "cache": {
+        "path": "cache_path",
+        "max_entries": "cache_max_entries",
+    },
+    "checkpoint": {
+        "path": "checkpoint_path",
+    },
+}
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """The full, serializable configuration of one formal campaign.
+
+    Every field is plain data with a TOML slot (see
+    :data:`CONFIG_SCHEMA` for the section/key layout); ``None`` means
+    "absent" (unbounded budget, no cache, full chip...).  Instances are
+    frozen — derive variants with :func:`dataclasses.replace`.
+    """
+
+    #: chip-block subset to campaign over (``None`` = every block);
+    #: consumed by the CLI, carried (and digested) for everyone else
+    blocks: Optional[Tuple[str, ...]] = None
+    #: lint the Verifiable RTL while planning
+    lint: bool = True
+
+    #: engine spec — single engine or ``portfolio:...`` ladder
+    engines: str = "auto"
+    #: per-stage SAT conflict budget (``None`` = unlimited)
+    sat_conflicts: Optional[int] = 200_000
+    #: per-stage BDD node budget (``None`` = unlimited)
+    bdd_nodes: Optional[int] = 2_000_000
+    #: BMC unroll bound
+    max_bound: int = 60
+    #: k-induction depth limit
+    max_k: int = 40
+    #: simple-path constraints for k-induction completeness
+    unique_states: bool = True
+    #: POBDD partitioning window variables
+    num_window_vars: int = 2
+
+    #: executor spec — ``serial`` | ``parallel[:N]`` | ``workstealing[:N]``
+    executor: str = "serial"
+    #: work-queue scheduling policy (``fifo`` | ``module-affinity``);
+    #: consulted by the work-stealing executor, a no-op elsewhere
+    scheduling: str = "fifo"
+    #: portfolio attempt-order policy (``static`` | ``adaptive``)
+    portfolio: str = "static"
+    #: shared per-module BDD workspaces (the campaign default; set
+    #: ``False`` where binding node budgets demand strict run-to-run
+    #: byte-equality — see docs/configuration.md)
+    share_bdd: bool = True
+
+    #: workspace valve: retained managers per worker (``None`` = all)
+    workspace_max_managers: Optional[int] = 8
+    #: workspace valve: keep operation memos between leases
+    workspace_retain_memos: bool = True
+    #: workspace valve: discard managers outgrowing this node count
+    workspace_max_manager_nodes: Optional[int] = None
+
+    #: result-cache path (``None`` = no cache)
+    cache_path: Optional[str] = None
+    #: result-cache LRU bound (``None`` = unbounded)
+    cache_max_entries: Optional[int] = None
+
+    #: checkpoint-journal path (``None`` = no checkpoint)
+    checkpoint_path: Optional[str] = None
+
+    #: optional-int knobs that accept the explicit string
+    #: ``"unlimited"`` (TOML has no null); the subset whose *default*
+    #: is bounded must also serialize ``None`` that way, or a
+    #: round-trip would silently restore the bound
+    _UNLIMITED_FIELDS = frozenset({
+        "sat_conflicts", "bdd_nodes", "cache_max_entries",
+        "workspace_max_managers", "workspace_max_manager_nodes",
+    })
+    _BOUNDED_BY_DEFAULT = frozenset({
+        "sat_conflicts", "bdd_nodes", "workspace_max_managers",
+    })
+
+    def __post_init__(self) -> None:
+        for name in self._UNLIMITED_FIELDS:
+            if getattr(self, name) == "unlimited":
+                object.__setattr__(self, name, None)
+        if self.blocks is not None:
+            if isinstance(self.blocks, str):
+                # tuple("CE") would silently split into ('C', 'E')
+                raise ConfigError(
+                    f"blocks must be a list of block names, "
+                    f"got the bare string {self.blocks!r}"
+                )
+            object.__setattr__(self, "blocks", tuple(self.blocks))
+            for block in self.blocks:
+                if not isinstance(block, str):
+                    raise ConfigError(
+                        f"blocks must be block-name strings, "
+                        f"got {block!r}"
+                    )
+        parse_executor_spec(self.executor)
+        parse_engines_spec(self.engines)
+        if self.scheduling not in SCHEDULING_POLICIES:
+            raise ConfigError(
+                f"unknown scheduling policy {self.scheduling!r}; "
+                f"pick one of {tuple(SCHEDULING_POLICIES)}"
+            )
+        if self.portfolio not in PORTFOLIO_POLICIES:
+            raise ConfigError(
+                f"unknown portfolio policy {self.portfolio!r}; "
+                f"pick one of {tuple(PORTFOLIO_POLICIES)}"
+            )
+        for name in ("sat_conflicts", "bdd_nodes"):
+            # 0 is legal: a budget that trips immediately (every stage
+            # TIMEOUTs) — used to exercise exhaustion paths
+            value = getattr(self, name)
+            if value is not None and (not _is_int(value) or value < 0):
+                raise ConfigError(
+                    f"{name} must be a non-negative integer or absent, "
+                    f"got {value!r}"
+                )
+        for name in ("cache_max_entries", "workspace_max_managers",
+                     "workspace_max_manager_nodes"):
+            value = getattr(self, name)
+            if value is not None and (not _is_int(value) or value < 1):
+                raise ConfigError(
+                    f"{name} must be a positive integer or absent, "
+                    f"got {value!r}"
+                )
+        for name in ("max_bound", "max_k", "num_window_vars"):
+            if not _is_int(getattr(self, name)) \
+                    or getattr(self, name) < 1:
+                raise ConfigError(
+                    f"{name} must be a positive integer, "
+                    f"got {getattr(self, name)!r}"
+                )
+        for name in ("lint", "unique_states", "share_bdd",
+                     "workspace_retain_memos"):
+            if not isinstance(getattr(self, name), bool):
+                raise ConfigError(
+                    f"{name} must be a boolean, "
+                    f"got {getattr(self, name)!r}"
+                )
+        for name in ("cache_path", "checkpoint_path"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, str):
+                raise ConfigError(
+                    f"{name} must be a path string or absent, "
+                    f"got {value!r}"
+                )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Nested plain-data form (TOML layout): section -> key ->
+        value.  ``None`` fields are omitted (TOML has no null) — except
+        the budget/valve knobs whose *default* is bounded, where
+        ``None`` means "explicitly unlimited" and is serialized as the
+        string ``"unlimited"`` so the round-trip cannot silently
+        restore the bound.  The inverse of :meth:`from_dict` —
+        round-tripping is the identity."""
+        data: Dict[str, Dict[str, object]] = {}
+        for section, keys in CONFIG_SCHEMA.items():
+            values = {}
+            for key, field_name in keys.items():
+                value = getattr(self, field_name)
+                if value is None:
+                    if field_name not in self._BOUNDED_BY_DEFAULT:
+                        continue
+                    value = "unlimited"
+                values[key] = list(value) if isinstance(value, tuple) \
+                    else value
+            if values:
+                data[section] = values
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignConfig":
+        """Build a config from :meth:`to_dict`'s (or a parsed TOML
+        file's) nested form.  Unknown sections or keys raise
+        :class:`ConfigError` — a typo must not silently fall back to a
+        default."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"config must be a table of sections, got {data!r}"
+            )
+        kwargs: Dict[str, object] = {}
+        for section, values in data.items():
+            keys = CONFIG_SCHEMA.get(section)
+            if keys is None:
+                raise ConfigError(
+                    f"unknown config section [{section}]; expected "
+                    f"{tuple(CONFIG_SCHEMA)}"
+                )
+            if not isinstance(values, dict):
+                raise ConfigError(
+                    f"config section [{section}] must be a table, "
+                    f"got {values!r}"
+                )
+            for key, value in values.items():
+                field_name = keys.get(key)
+                if field_name is None:
+                    raise ConfigError(
+                        f"unknown key {key!r} in section [{section}]; "
+                        f"expected one of {tuple(keys)}"
+                    )
+                kwargs[field_name] = value
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigError(str(exc)) from None
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical serialized form — stable under dict
+        key order and across to_dict/from_dict round-trips.  Stamped
+        into ``CampaignReport.stats["config_digest"]``."""
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- TOML ----------------------------------------------------------
+    def to_toml(self) -> str:
+        """Serialize to TOML text (the ``--config`` file format)."""
+        lines = []
+        for section, values in self.to_dict().items():
+            if lines:
+                lines.append("")
+            lines.append(f"[{section}]")
+            for key, value in values.items():
+                lines.append(f"{key} = {_toml_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_toml(cls, text: str) -> "CampaignConfig":
+        """Parse TOML text into a config (strict, like
+        :meth:`from_dict`)."""
+        import tomllib
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"invalid TOML: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignConfig":
+        """Read a config from a TOML file."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigError(f"cannot read config {path!r}: {exc}") \
+                from None
+        return cls.from_toml(text)
+
+    # -- component builders --------------------------------------------
+    def build_engines(self) -> Tuple[EngineConfig, ...]:
+        """The engine portfolio this config describes — one
+        :class:`EngineConfig` per stage, sharing the tuning knobs."""
+        methods = parse_engines_spec(self.engines)
+        return tuple(
+            EngineConfig(
+                method=method,
+                max_bound=self.max_bound,
+                max_k=self.max_k,
+                unique_states=self.unique_states,
+                num_window_vars=self.num_window_vars,
+                sat_conflicts=self.sat_conflicts,
+                bdd_nodes=self.bdd_nodes,
+            )
+            for method in methods
+        )
+
+    def workspace_options(self) -> Dict[str, object]:
+        """Kwargs for the :class:`~repro.formal.workspace.BddWorkspace`
+        constructor (the executor builds one per worker when
+        ``share_bdd`` is on)."""
+        return {
+            "max_managers": self.workspace_max_managers,
+            "retain_memos": self.workspace_retain_memos,
+            "max_manager_nodes": self.workspace_max_manager_nodes,
+        }
+
+    def build_executor(self):
+        """The executor this config describes, wired with the
+        ``share_bdd`` setting, the workspace valves, and (for the
+        work-stealing executor) the scheduling policy."""
+        from .executor import (
+            ParallelExecutor, SerialExecutor, WorkStealingExecutor,
+        )
+        kind, processes = parse_executor_spec(self.executor)
+        options = self.workspace_options()
+        if kind == "serial":
+            return SerialExecutor(share_bdd=self.share_bdd,
+                                  workspace_options=options)
+        if kind == "parallel":
+            return ParallelExecutor(processes=processes,
+                                    share_bdd=self.share_bdd,
+                                    workspace_options=options)
+        return WorkStealingExecutor(processes=processes,
+                                    share_bdd=self.share_bdd,
+                                    workspace_options=options,
+                                    scheduling=self.build_scheduling())
+
+    def build_scheduling(self):
+        """The scheduling policy instance (``fifo`` unless configured)."""
+        return scheduling_policy(self.scheduling)
+
+    def build_portfolio_policy(self, cache=None):
+        """The portfolio policy instance; ``cache`` feeds the adaptive
+        policy its engine history."""
+        return portfolio_policy(self.portfolio, cache)
+
+    def build_cache(self):
+        """The :class:`~repro.orchestrate.cache.ResultCache`, or
+        ``None`` when no path is configured."""
+        if self.cache_path is None:
+            return None
+        from .cache import ResultCache
+        return ResultCache(self.cache_path,
+                           max_entries=self.cache_max_entries)
+
+    def build_checkpoint(self):
+        """The :class:`~repro.orchestrate.checkpoint.CampaignCheckpoint`,
+        or ``None`` when no path is configured."""
+        if self.checkpoint_path is None:
+            return None
+        from .checkpoint import CampaignCheckpoint
+        return CampaignCheckpoint(self.checkpoint_path)
+
+
+def _is_int(value: object) -> bool:
+    """True for real integers (bool is excluded — TOML and JSON both
+    distinguish them, and ``lint = 1`` should be an error)."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _toml_value(value: object) -> str:
+    """Render one config value as TOML (strings, booleans, integers,
+    and string lists are the whole value vocabulary)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, list):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    raise ConfigError(f"value {value!r} has no TOML form")
+
+
+#: every dataclass field must have exactly one CONFIG_SCHEMA slot —
+#: fail at import time, not in a user's half-serialized config
+_mapped = [f for keys in CONFIG_SCHEMA.values() for f in keys.values()]
+assert sorted(_mapped) == sorted(f.name for f in fields(CampaignConfig)), \
+    "CONFIG_SCHEMA out of sync with CampaignConfig fields"
+assert len(_mapped) == len(set(_mapped)), \
+    "CONFIG_SCHEMA maps a field twice"
+del _mapped

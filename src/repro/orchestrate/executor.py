@@ -213,43 +213,63 @@ def _pool_context():
 
 def _steal_worker(job_queue, result_queue, share_bdd: bool = False,
                   workspace_options: Optional[dict] = None) -> None:
-    """Worker loop: pull one job at a time until the ``None`` pill.
+    """Worker loop: pull one work unit at a time until the ``None``
+    pill.  A unit is a list of jobs — one job under FIFO scheduling,
+    one module's whole job group under module-affinity scheduling (see
+    :mod:`repro.orchestrate.policy`) — run to completion before the
+    next pull, each result shipped individually so the parent's
+    plan-order stream stays as responsive as single-job stealing.
 
     Each payload is ``(job index, pickled JobResult | BaseException)``;
     the parent re-raises exceptions when their job's turn in plan order
     comes up, matching ``ParallelExecutor``'s error propagation through
-    ``imap``.  Pickling happens here, in the worker, so an unpicklable
-    result or error (a custom engine attaching odd objects to
-    ``CheckResult.stats``) turns into a descriptive RuntimeError
+    ``imap``.  A failing job poisons only the rest of its own unit
+    (skipped — their results would be thrown away anyway); the worker
+    keeps stealing other units, exactly like the single-job loop kept
+    stealing other jobs.  Pickling happens here, in the worker, so an
+    unpicklable result or error (a custom engine attaching odd objects
+    to ``CheckResult.stats``) turns into a descriptive RuntimeError
     instead of dying silently in the queue's feeder thread and
     masquerading as a dead worker.
 
     ``share_bdd`` gives this worker a private multi-manager
-    :class:`~repro.formal.workspace.BddWorkspace`: stolen jobs
+    :class:`~repro.formal.workspace.BddWorkspace`: FIFO-stolen jobs
     interleave modules, so the worker retains an LRU pool of per-module
-    managers rather than relying on contiguity.
+    managers rather than relying on contiguity (module-affinity units
+    make the pool's job trivial — one unit, one hot manager).
     """
     designs: Dict[str, tuple] = {}
     workspace = BddWorkspace(**(workspace_options or {})) \
         if share_bdd else None
     while True:
-        job = job_queue.get()
-        if job is None:
+        unit = job_queue.get()
+        if unit is None:
             return
-        try:
-            payload = run_check_job(job, designs, workspace=workspace)
-        except BaseException as exc:  # ship the failure, keep stealing
-            payload = exc
-        try:
-            blob = pickle.dumps(payload)
-        except Exception as exc:
-            kind = ("error" if isinstance(payload, BaseException)
-                    else "result")
-            blob = pickle.dumps(RuntimeError(
-                f"job {job.index} ({job.qualified_name}) produced an "
-                f"unpicklable {kind}: {exc}"
-            ))
-        result_queue.put((job.index, blob))
+        failed = None
+        for job in unit:
+            if failed is not None:
+                # a poisoned unit: the stream dies at the failed job's
+                # plan position, so later same-unit results are moot —
+                # but they must still be *answered* or the parent would
+                # wait on a result that never comes
+                result_queue.put((job.index, failed))
+                continue
+            try:
+                payload = run_check_job(job, designs, workspace=workspace)
+            except BaseException as exc:  # ship the failure, keep going
+                payload = exc
+            try:
+                blob = pickle.dumps(payload)
+            except Exception as exc:
+                kind = ("error" if isinstance(payload, BaseException)
+                        else "result")
+                blob = pickle.dumps(RuntimeError(
+                    f"job {job.index} ({job.qualified_name}) produced "
+                    f"an unpicklable {kind}: {exc}"
+                ))
+            if isinstance(payload, BaseException):
+                failed = blob
+            result_queue.put((job.index, blob))
 
 
 class WorkStealingExecutor:
@@ -263,6 +283,15 @@ class WorkStealingExecutor:
     longest single check rather than the longest chunk.  Results arrive
     out of order and are buffered by job index until they are next in
     plan order, preserving the streaming contract.
+
+    ``scheduling`` is a
+    :class:`~repro.orchestrate.policy.SchedulingPolicy` deciding what
+    one "pull" hands a worker: the default FIFO policy hands single
+    jobs (maximum balance), the module-affinity policy hands one
+    module's whole job group (one worker keeps that module's shared
+    BDD manager hot).  Scheduling changes steal order and worker
+    affinity only — results are reassembled into plan order either
+    way, so the campaign outcome is policy-invariant.
 
     ``poll_interval`` is how often the parent, while blocked waiting
     for the next result, checks that workers are still alive — once
@@ -281,7 +310,8 @@ class WorkStealingExecutor:
     def __init__(self, processes: Optional[int] = None,
                  poll_interval: float = 0.1,
                  share_bdd: bool = False,
-                 workspace_options: Optional[dict] = None) -> None:
+                 workspace_options: Optional[dict] = None,
+                 scheduling=None) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if poll_interval <= 0:
@@ -292,6 +322,10 @@ class WorkStealingExecutor:
         self.poll_interval = poll_interval
         self.share_bdd = share_bdd
         self.workspace_options = workspace_options
+        if scheduling is None:
+            from .policy import FifoScheduling
+            scheduling = FifoScheduling()
+        self.scheduling = scheduling
         self._fell_back = False
 
     @property
@@ -316,12 +350,19 @@ class WorkStealingExecutor:
             ).map(jobs)
             return
         self._fell_back = False
+        units = self.scheduling.batches(jobs)
+        if sorted(job.index for unit in units for job in unit) != \
+                sorted(job.index for job in jobs):
+            raise RuntimeError(
+                f"scheduling policy {self.scheduling.name!r} lost or "
+                f"duplicated jobs while batching"
+            )
         context = _pool_context()
         job_queue = context.Queue()
         result_queue = context.Queue()
-        worker_count = min(self.processes, len(jobs))
-        for job in jobs:
-            job_queue.put(job)
+        worker_count = min(self.processes, len(units))
+        for unit in units:
+            job_queue.put(unit)
         for _ in range(worker_count):
             job_queue.put(None)  # one stop pill per worker
         workers = [

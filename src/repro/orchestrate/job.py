@@ -140,6 +140,13 @@ class CheckJob:
     makes them profitable to run against one shared BDD workspace
     manager (:mod:`repro.formal.workspace`); executors use it as the
     workspace key.
+
+    ``engine_order`` is execution-time wiring set by a portfolio
+    policy (:mod:`repro.orchestrate.policy`): a permutation of
+    ``range(len(engines))`` giving the order stages are *attempted*.
+    It is deliberately outside the fingerprint — attempt order changes
+    the cost of reaching a verdict, never the verdict — so cache keys
+    and checkpoint journals are identical whatever the policy.
     """
 
     index: int
@@ -151,6 +158,7 @@ class CheckJob:
     engines: Tuple[EngineConfig, ...]
     fingerprint: str
     module_digest: str = ""
+    engine_order: Optional[Tuple[int, ...]] = None
 
     @property
     def qualified_name(self) -> str:
@@ -272,24 +280,48 @@ def run_check_job(job: CheckJob,
     charging only newly created nodes — so a warmed stage can settle a
     check whose node budget would trip cold, never the reverse
     (see :mod:`repro.orchestrate`).
+
+    ``job.engine_order`` (set by a portfolio policy) permutes the
+    *attempt* order only.  A definitive PASS/FAIL verdict is
+    stage-order-invariant (every engine is sound); when no stage is
+    definitive, the stage that is **last in the configured order** is
+    reported whatever order the stages actually ran in — so a reordered
+    portfolio returns the same status as the static one, and only
+    ``result.stats['portfolio']`` (the attempt log) shows the policy
+    at work.
     """
     if not job.engines:
         raise ValueError(f"job {job.qualified_name!r} has no engines")
+    order = job.engine_order
+    if order is None:
+        order = tuple(range(len(job.engines)))
+    elif sorted(order) != list(range(len(job.engines))):
+        raise ValueError(
+            f"job {job.qualified_name!r}: engine_order {order!r} is not "
+            f"a permutation of the {len(job.engines)}-stage portfolio"
+        )
     ts = compile_job(job, design_cache)
     binding = workspace.bind(job.workspace_key) \
         if workspace is not None else None
     attempts = []
     result = None
-    for config in job.engines:
+    fallback_position = -1
+    for position in order:
+        config = job.engines[position]
         options = config.options()
         if binding is not None:
             options = replace(options, workspace=binding)
         checker = ModelChecker(ts, budget=config.make_budget())
-        result = checker.check(method=config.method, options=options)
-        attempts.append({"engine": config.method, "status": result.status,
-                         "seconds": result.seconds})
-        if result.status in (PASS, FAIL):
+        stage = checker.check(method=config.method, options=options)
+        attempts.append({"engine": config.method, "status": stage.status,
+                         "seconds": stage.seconds})
+        if stage.status in (PASS, FAIL):
+            result = stage
             break
+        # no stage definitive: report the stage that is last in the
+        # *configured* order, exactly as a static-order run would
+        if position > fallback_position:
+            result, fallback_position = stage, position
     if len(job.engines) > 1:
         result.stats["portfolio"] = attempts
         result.engine = f"portfolio:{result.engine}"

@@ -9,9 +9,14 @@
    (when resuming) are replayed first, then a
    :class:`~repro.orchestrate.cache.ResultCache` hit replays its stored
    verdict, and only the remainder stays on the run list;
-3. the executor (serial by default; chunked-pool or work-stealing
-   process-parallel opt-in) streams :class:`JobResult`\\ s back in plan
-   order, each fresh result journaled to the checkpoint as it arrives;
+3. the configured :class:`~repro.orchestrate.policy.PortfolioPolicy`
+   picks each remaining job's engine attempt order (the adaptive
+   policy tries the cache's historical winner first), then the
+   executor (serial by default; chunked-pool or work-stealing
+   process-parallel opt-in, the latter scheduled by the configured
+   :class:`~repro.orchestrate.policy.SchedulingPolicy`) streams
+   :class:`JobResult`\\ s back in plan order, each fresh result
+   journaled to the checkpoint as it arrives;
 4. results — journal-replayed, cached, and fresh interleaved back into
    plan order — are aggregated incrementally into the legacy
    :class:`CampaignReport`: per-block property counters, per-block
@@ -34,7 +39,7 @@ from ..core.campaign import BlockSummary, CampaignReport, PropertyResult
 from ..formal.engine import CheckResult, FAIL
 from .cache import ResultCache, decode_result
 from .checkpoint import CampaignCheckpoint, plan_digest
-from .executor import SerialExecutor
+from .config import CampaignConfig
 from .job import CheckJob, EngineConfig
 from .planner import Blocks, CampaignPlan, plan_campaign
 
@@ -44,21 +49,50 @@ Progress = Optional[Callable[[str], None]]
 class CampaignOrchestrator:
     """Runs a formal campaign as a scheduled job graph.
 
-    ``engines`` is the per-job engine portfolio (a tuple of
-    :class:`EngineConfig`; one entry = single engine, the default
-    single ``auto`` config reproduces the legacy behaviour).
-    ``executor`` is any object with ``name`` and ``map(jobs)`` yielding
-    results in plan order.  ``cache`` is an optional
-    :class:`ResultCache`; pass one to make reruns incremental.
-    ``checkpoint`` is an optional :class:`CampaignCheckpoint`; pass one
-    to journal completed jobs so a killed campaign can be restarted
-    with ``run(resume=True)``.
+    The canonical way to parameterise a campaign is one declarative
+    :class:`~repro.orchestrate.config.CampaignConfig`::
+
+        config = CampaignConfig(executor="workstealing:4",
+                                engines="portfolio:kind,bdd-combined",
+                                scheduling="module-affinity",
+                                cache_path="campaign-cache.json")
+        CampaignOrchestrator(blocks, config=config).run()
+
+    Every component — engine portfolio, executor (with its scheduling
+    policy and shared-BDD wiring), result cache, checkpoint journal —
+    is built from the config, and the config's :meth:`digest
+    <repro.orchestrate.config.CampaignConfig.digest>` is stamped into
+    ``report.stats["config_digest"]`` so the report names the exact
+    configuration that produced it.
+
+    The per-component kwargs are the *override* layer, kept for
+    programmatic callers and backward compatibility (they predate the
+    config API and are soft-deprecated as the primary interface —
+    prefer the config, which is what serializes):
+
+    - ``engines`` — the per-job engine portfolio (tuple of
+      :class:`EngineConfig`; one entry = single engine);
+    - ``executor`` — any object with ``name`` and ``map(jobs)``
+      yielding results in plan order;
+    - ``cache`` — a :class:`ResultCache` for incremental reruns;
+    - ``checkpoint`` — a :class:`CampaignCheckpoint` journaling
+      completed jobs so a killed campaign restarts with
+      ``run(resume=True)``;
+    - ``lint`` — lint the Verifiable RTL while planning.
+
+    An explicit component wins over the config's corresponding spec;
+    everything not overridden still comes from the config.  Overridden
+    component names are recorded in
+    ``report.stats["config_overrides"]`` — an empty list means the
+    stamped ``config_digest`` alone fully describes the run.
     """
 
     #: default per-job budget limits, matching the legacy
     #: ``FormalCampaign`` default ``budget_factory`` — generous enough
     #: for every leaf problem, trips (TIMEOUT) only on genuinely
-    #: oversized cones instead of running unbounded
+    #: oversized cones instead of running unbounded.  Identical to
+    #: ``CampaignConfig().build_engines()`` — the config *is* the
+    #: default campaign.
     DEFAULT_ENGINES = (
         EngineConfig(sat_conflicts=200_000, bdd_nodes=2_000_000),
     )
@@ -68,13 +102,38 @@ class CampaignOrchestrator:
                  executor=None,
                  cache: Optional[ResultCache] = None,
                  checkpoint: Optional[CampaignCheckpoint] = None,
-                 lint: bool = True) -> None:
+                 lint: Optional[bool] = None,
+                 config: Optional[CampaignConfig] = None) -> None:
+        if config is None:
+            config = CampaignConfig()
+        self.config = config
         self.blocks = [(name, list(mods)) for name, mods in blocks]
-        self.engines = tuple(engines) if engines else self.DEFAULT_ENGINES
-        self.executor = executor if executor is not None else SerialExecutor()
-        self.cache = cache
-        self.checkpoint = checkpoint
-        self.lint = lint
+        #: component kwargs that replaced the config's specs — recorded
+        #: in ``report.stats["config_overrides"]`` so a stamped digest
+        #: is never mistaken for the full story of an overridden run
+        overrides = [
+            name for name, value in [
+                ("engines", engines), ("executor", executor),
+                ("cache", cache), ("checkpoint", checkpoint),
+                ("lint", lint),
+            ] if value is not None
+        ]
+        # the blocks argument is a component too: when the config
+        # names a scope and the caller hands a different one, the
+        # digest no longer describes the run by itself
+        if config.blocks is not None and \
+                [name for name, _ in self.blocks] != list(config.blocks):
+            overrides.append("blocks")
+        self.config_overrides = sorted(overrides)
+        self.engines = tuple(engines) if engines \
+            else config.build_engines()
+        self.executor = executor if executor is not None \
+            else config.build_executor()
+        self.cache = cache if cache is not None else config.build_cache()
+        self.checkpoint = checkpoint if checkpoint is not None \
+            else config.build_checkpoint()
+        self.lint = config.lint if lint is None else lint
+        self.portfolio_policy = config.build_portfolio_policy(self.cache)
 
     # ------------------------------------------------------------------
     def plan(self) -> CampaignPlan:
@@ -113,10 +172,17 @@ class CampaignOrchestrator:
 
         journal_results = self._open_checkpoint(plan, resume)
         cached_results, to_run = self._partition(plan, journal_results)
+        # the portfolio policy permutes attempt order only — outside
+        # the fingerprint, so cache keys and the journal stay put
+        reordered = 0
+        for job in to_run:
+            job.engine_order = self.portfolio_policy.order(job)
+            reordered += job.engine_order is not None
         executed = self.executor.map(to_run)
 
         fail_modules: Dict[str, Set[str]] = {}
         fresh_modules: Set[str] = {job.module.name for job in to_run}
+        engine_attempts: Dict[str, int] = {}
         try:
             for job in plan.jobs:
                 cached = False
@@ -130,7 +196,7 @@ class CampaignOrchestrator:
                     result = journal_results[job.index]
                     if self.cache is not None and \
                             job.fingerprint not in self.cache:
-                        self.cache.store(job.fingerprint, result)
+                        self.cache.store(job.fingerprint, result, job=job)
                 elif job.index in cached_results:
                     cached = True
                     result = cached_results[job.index]
@@ -149,8 +215,13 @@ class CampaignOrchestrator:
                             f"{job.index}, got {job_result.index}"
                         )
                     result = job_result.result
+                    for attempt in result.stats.get("portfolio") or \
+                            [{"engine": job.engines[0].method}]:
+                        method = attempt["engine"]
+                        engine_attempts[method] = \
+                            engine_attempts.get(method, 0) + 1
                     if self.cache is not None:
-                        self.cache.store(job.fingerprint, result)
+                        self.cache.store(job.fingerprint, result, job=job)
                     if self.checkpoint is not None:
                         self.checkpoint.record(job, result)
                 self._record(report, job, result, cached, fail_modules,
@@ -178,9 +249,17 @@ class CampaignOrchestrator:
             if self.cache is not None:
                 self.cache.flush()
         report.seconds = time.perf_counter() - started
+        scheduling = getattr(self.executor, "scheduling", None)
         report.stats = {
             "executor": self.executor.name,
             "engines": [config.method for config in self.engines],
+            "config_digest": self.config.digest(),
+            "config_overrides": list(self.config_overrides),
+            "scheduling": scheduling.name if scheduling is not None
+            else "fifo",
+            "portfolio_policy": self.portfolio_policy.name,
+            "portfolio_reordered": reordered,
+            "engine_attempts": engine_attempts,
             "jobs": plan.total_jobs,
             "cache_hits": len(cached_results),
             "cache_misses": len(to_run) if self.cache is not None else 0,

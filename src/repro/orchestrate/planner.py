@@ -57,12 +57,13 @@ class CampaignPlan:
         The planner emits each module's jobs contiguously, so every
         group is a contiguous index run.  Jobs in one group share a
         module digest, hence a variable numbering, hence a profitable
-        shared BDD manager.  Today the executors exploit this only
-        implicitly — each job carries the group key as
-        ``CheckJob.workspace_key`` and plan contiguity keeps runs of
-        same-module jobs together — while this map is the inspection
-        surface (and the intended scheduling unit for module-batched
-        work stealing, an open ROADMAP item).
+        shared BDD manager.  Each job carries the group key as
+        ``CheckJob.workspace_key``, and this grouping is the
+        module-affinity scheduling unit: with
+        ``scheduling = "module-affinity"`` the work-stealing executor
+        hands one group per queue pull
+        (:class:`~repro.orchestrate.policy.ModuleAffinityScheduling`),
+        keeping one module's manager hot on one worker.
         """
         groups: Dict[str, List[int]] = {}
         for job in self.jobs:

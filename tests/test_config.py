@@ -1,0 +1,361 @@
+"""CampaignConfig: round-trips, spec parsing, digests, legacy mapping.
+
+The config object's whole job is to make a campaign reproducible from
+plain data, so these tests pin the properties that matter for that:
+serialization round-trips are the identity, digests are stable under
+key order, malformed input fails loudly (never a silent default), and
+the legacy kwarg API produces the *same campaign* (byte-identical
+outcome) as the config that replaces it.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chip import ComponentChip
+from repro.core.campaign import FormalCampaign
+from repro.orchestrate import (
+    CampaignConfig, CampaignOrchestrator, ConfigError, EngineConfig,
+    ParallelExecutor, SerialExecutor, WorkStealingExecutor,
+    parse_engines_spec, parse_executor_spec,
+)
+from repro.orchestrate.config import CONFIG_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def small_blocks():
+    """Two modules of block C with one seeded defect: 17 jobs, PASS
+    and FAIL mixed."""
+    chip = ComponentChip(defects={"B2"}, only_blocks=["C"])
+    return [("C", chip.blocks[0][1][:2])]
+
+
+def _config(**overrides):
+    overrides.setdefault("sat_conflicts", 500_000)
+    overrides.setdefault("bdd_nodes", 5_000_000)
+    return CampaignConfig(**overrides)
+
+
+# ----------------------------------------------------------------------
+# spec parsing
+# ----------------------------------------------------------------------
+
+class TestExecutorSpec:
+    def test_grammar(self):
+        assert parse_executor_spec("serial") == ("serial", None)
+        assert parse_executor_spec("parallel") == ("parallel", None)
+        assert parse_executor_spec("parallel:4") == ("parallel", 4)
+        assert parse_executor_spec("workstealing:2") == \
+            ("work-stealing", 2)
+        assert parse_executor_spec("work-stealing:2") == \
+            ("work-stealing", 2)
+
+    @pytest.mark.parametrize("bad", [
+        "quantum", "serial:2", "parallel:0", "parallel:-1",
+        "parallel:x", "workstealing:", "", ":4",
+    ])
+    def test_malformed_specs_name_the_problem(self, bad):
+        with pytest.raises(ConfigError, match="spec"):
+            parse_executor_spec(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigError, match="must be a string"):
+            parse_executor_spec(4)
+
+
+class TestEnginesSpec:
+    def test_grammar(self):
+        assert parse_engines_spec("auto") == ("auto",)
+        assert parse_engines_spec("kind") == ("kind",)
+        assert parse_engines_spec("portfolio") == \
+            ("kind", "bdd-combined", "pobdd")
+        assert parse_engines_spec("portfolio:auto,kind,bdd-combined") \
+            == ("auto", "kind", "bdd-combined")
+        assert parse_engines_spec("portfolio: kind , pobdd ") == \
+            ("kind", "pobdd")
+
+    @pytest.mark.parametrize("bad", [
+        "quantum", "portfolio:", "portfolio:,", "portfolio:quantum",
+        "portfolio:kind,kind", "",
+    ])
+    def test_malformed_specs_name_the_problem(self, bad):
+        with pytest.raises(ConfigError):
+            parse_engines_spec(bad)
+
+
+# ----------------------------------------------------------------------
+# serialization round-trips and digests
+# ----------------------------------------------------------------------
+
+FULL = dict(
+    blocks=("A", "C"), lint=False,
+    engines="portfolio:kind,bdd-combined", sat_conflicts=123_456,
+    bdd_nodes=None, max_bound=50, max_k=30, unique_states=False,
+    num_window_vars=3,
+    executor="workstealing:3", scheduling="module-affinity",
+    portfolio="adaptive", share_bdd=False,
+    workspace_max_managers=4, workspace_retain_memos=False,
+    workspace_max_manager_nodes=100_000,
+    cache_path="cache.json", cache_max_entries=50,
+    checkpoint_path="campaign.journal",
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        for config in (CampaignConfig(), CampaignConfig(**FULL)):
+            again = CampaignConfig.from_dict(config.to_dict())
+            assert again == config
+            assert again.digest() == config.digest()
+
+    def test_toml_round_trip_is_identity(self):
+        for config in (CampaignConfig(), CampaignConfig(**FULL)):
+            again = CampaignConfig.from_toml(config.to_toml())
+            assert again == config
+
+    def test_load_from_file(self, tmp_path):
+        config = CampaignConfig(**FULL)
+        path = tmp_path / "campaign.toml"
+        path.write_text(config.to_toml())
+        assert CampaignConfig.load(str(path)) == config
+
+    def test_example_config_parses(self):
+        import pathlib
+        example = pathlib.Path(__file__).parent.parent / "examples" \
+            / "campaign.toml"
+        config = CampaignConfig.load(str(example))
+        assert config.blocks == ("C",)
+        assert config.scheduling == "module-affinity"
+
+    def test_blocks_list_coerced_to_tuple(self):
+        assert CampaignConfig(blocks=["A", "B"]).blocks == ("A", "B")
+
+    def test_none_fields_omitted_from_dict(self):
+        data = CampaignConfig().to_dict()
+        assert "cache" not in data
+        assert "checkpoint" not in data
+        assert "max_manager_nodes" not in data.get("workspace", {})
+
+
+class TestDigest:
+    def test_stable_under_key_order(self):
+        config = CampaignConfig(**FULL)
+        data = config.to_dict()
+        shuffled = {
+            section: dict(reversed(list(values.items())))
+            for section, values in reversed(list(data.items()))
+        }
+        assert CampaignConfig.from_dict(shuffled).digest() == \
+            config.digest()
+
+    def test_every_field_moves_the_digest(self):
+        base = CampaignConfig(**FULL)
+        changed = dict(
+            FULL, blocks=("A",), lint=True, engines="portfolio",
+            sat_conflicts=1, bdd_nodes=2, max_bound=51, max_k=31,
+            unique_states=True, num_window_vars=4, executor="serial",
+            scheduling="fifo", portfolio="static", share_bdd=True,
+            workspace_max_managers=5, workspace_retain_memos=True,
+            workspace_max_manager_nodes=100_001, cache_path="other.json",
+            cache_max_entries=51, checkpoint_path="other.journal",
+        )
+        for field in FULL:
+            variant = dataclasses.replace(base, **{field: changed[field]})
+            assert variant.digest() != base.digest(), field
+
+
+# ----------------------------------------------------------------------
+# strictness: a typo must never silently fall back to a default
+# ----------------------------------------------------------------------
+
+class TestStrictness:
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config section"):
+            CampaignConfig.from_dict({"engine": {"spec": "auto"}})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown key"):
+            CampaignConfig.from_dict({"execution": {"executr": "serial"}})
+
+    def test_invalid_toml_rejected(self):
+        with pytest.raises(ConfigError, match="invalid TOML"):
+            CampaignConfig.from_toml("[execution\nexecutor=")
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(ConfigError, match="cannot read config"):
+            CampaignConfig.load("/nonexistent/campaign.toml")
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(scheduling="lifo"), "scheduling"),
+        (dict(portfolio="oracle"), "portfolio"),
+        (dict(lint=1), "lint"),
+        (dict(share_bdd="yes"), "share_bdd"),
+        (dict(sat_conflicts=-1), "sat_conflicts"),
+        (dict(cache_max_entries=0), "cache_max_entries"),
+        (dict(max_k=0), "max_k"),
+        (dict(cache_path=7), "cache_path"),
+        (dict(blocks=("A", 3)), "blocks"),
+        (dict(blocks="CE"), "bare string"),
+    ])
+    def test_bad_values_rejected(self, kwargs, match):
+        with pytest.raises(ConfigError, match=match):
+            CampaignConfig(**kwargs)
+
+    def test_schema_covers_every_field(self):
+        mapped = sorted(
+            field for keys in CONFIG_SCHEMA.values()
+            for field in keys.values()
+        )
+        declared = sorted(
+            field.name for field in dataclasses.fields(CampaignConfig)
+        )
+        assert mapped == declared
+
+
+# ----------------------------------------------------------------------
+# component builders
+# ----------------------------------------------------------------------
+
+class TestBuilders:
+    def test_default_engines_match_legacy_default(self):
+        assert CampaignConfig().build_engines() == \
+            CampaignOrchestrator.DEFAULT_ENGINES
+
+    def test_engine_knobs_reach_every_stage(self):
+        engines = _config(engines="portfolio:kind,pobdd",
+                          max_k=17, num_window_vars=3).build_engines()
+        assert [config.method for config in engines] == ["kind", "pobdd"]
+        for config in engines:
+            assert isinstance(config, EngineConfig)
+            assert config.max_k == 17
+            assert config.num_window_vars == 3
+            assert config.sat_conflicts == 500_000
+
+    def test_executor_kinds(self):
+        assert isinstance(_config().build_executor(), SerialExecutor)
+        parallel = _config(executor="parallel:3").build_executor()
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.processes == 3
+        stealing = _config(executor="workstealing:2",
+                           scheduling="module-affinity").build_executor()
+        assert isinstance(stealing, WorkStealingExecutor)
+        assert stealing.processes == 2
+        assert stealing.scheduling.name == "module-affinity"
+
+    def test_share_bdd_default_on_with_escape_hatch(self):
+        """The campaign default is shared BDD workspaces; the config
+        keeps an explicit off switch."""
+        assert CampaignConfig().share_bdd is True
+        assert _config().build_executor().workspace is not None
+        off = _config(share_bdd=False).build_executor()
+        assert off.workspace is None
+        pool = _config(share_bdd=False,
+                       executor="workstealing:2").build_executor()
+        assert pool.share_bdd is False
+
+    def test_workspace_valves_forwarded(self):
+        executor = _config(executor="parallel:2",
+                           workspace_max_managers=3,
+                           workspace_retain_memos=False).build_executor()
+        assert executor.workspace_options["max_managers"] == 3
+        assert executor.workspace_options["retain_memos"] is False
+
+    def test_cache_and_checkpoint(self, tmp_path):
+        config = _config(cache_path=str(tmp_path / "cache.json"),
+                         cache_max_entries=9,
+                         checkpoint_path=str(tmp_path / "j.journal"))
+        cache = config.build_cache()
+        assert cache is not None and cache.max_entries == 9
+        assert config.build_checkpoint() is not None
+        assert CampaignConfig().build_cache() is None
+        assert CampaignConfig().build_checkpoint() is None
+
+
+# ----------------------------------------------------------------------
+# the acceptance criterion: one config, one campaign — whatever the
+# executor, and round-tripped through serialization
+# ----------------------------------------------------------------------
+
+class TestConfigDrivenCampaign:
+    @pytest.mark.parametrize("executor_spec", [
+        "serial", "parallel:2", "workstealing:2",
+    ])
+    def test_round_tripped_config_reproduces_campaign(
+            self, small_blocks, executor_spec):
+        config = _config(executor=executor_spec,
+                         engines="portfolio:kind,bdd-combined")
+        reference = CampaignOrchestrator(
+            small_blocks, config=config).run()
+        revived = CampaignConfig.from_dict(config.to_dict())
+        again = CampaignOrchestrator(small_blocks, config=revived).run()
+        assert again.canonical_bytes() == reference.canonical_bytes()
+        assert again.stats["config_digest"] == \
+            reference.stats["config_digest"]
+
+    def test_report_stamped_with_config_digest(self, small_blocks):
+        config = _config()
+        report = CampaignOrchestrator(small_blocks, config=config).run()
+        assert report.stats["config_digest"] == config.digest()
+
+    def test_component_override_wins_over_config(self, small_blocks):
+        config = _config(executor="workstealing:2")
+        orchestrator = CampaignOrchestrator(
+            small_blocks, config=config, executor=SerialExecutor()
+        )
+        assert isinstance(orchestrator.executor, SerialExecutor)
+
+    def test_overrides_recorded_in_stats(self, small_blocks):
+        """A stamped digest must not be mistaken for the whole story
+        when component objects replaced the config's specs."""
+        pure = CampaignOrchestrator(small_blocks, config=_config()).run()
+        assert pure.stats["config_overrides"] == []
+        overridden = CampaignOrchestrator(
+            small_blocks, config=_config(),
+            executor=SerialExecutor(), engines=_config().build_engines(),
+        ).run()
+        assert overridden.stats["config_overrides"] == \
+            ["engines", "executor"]
+
+    def test_scope_mismatch_recorded_as_override(self, small_blocks):
+        """A config naming blocks ('C',) run over some other scope must
+        not claim the digest fully describes the run."""
+        config = _config(blocks=("C",))
+        matching = CampaignOrchestrator(small_blocks, config=config)
+        assert "blocks" not in matching.config_overrides
+        mismatched = CampaignOrchestrator(
+            [("X", small_blocks[0][1])], config=config)
+        assert "blocks" in mismatched.config_overrides
+
+
+# ----------------------------------------------------------------------
+# legacy kwargs: accepted, mapped, soft-deprecated — same campaign
+# ----------------------------------------------------------------------
+
+class TestLegacyMapping:
+    def test_legacy_kwargs_equal_config_campaign(self, small_blocks):
+        from repro.formal.budget import ResourceBudget
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = FormalCampaign(
+                small_blocks, method="kind", max_k=30,
+                budget_factory=lambda: ResourceBudget(
+                    sat_conflicts=500_000, bdd_nodes=5_000_000),
+            )
+        configured = FormalCampaign(
+            small_blocks,
+            config=CampaignConfig(engines="kind", max_k=30,
+                                  sat_conflicts=500_000,
+                                  bdd_nodes=5_000_000),
+        )
+        assert legacy.config == configured.config
+        assert legacy.run().canonical_bytes() == \
+            configured.run().canonical_bytes()
+
+    def test_facade_defaults_share_config_defaults(self, small_blocks):
+        campaign = FormalCampaign(small_blocks)
+        assert campaign.config == CampaignConfig()
+
+    def test_engines_tuple_still_accepted(self, small_blocks):
+        engines = (EngineConfig(method="kind", sat_conflicts=500_000,
+                                bdd_nodes=5_000_000),)
+        report = FormalCampaign(small_blocks, engines=engines).run()
+        assert report.stats["engines"] == ["kind"]

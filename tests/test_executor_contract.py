@@ -16,8 +16,8 @@ import pytest
 
 from repro.chip import ComponentChip
 from repro.orchestrate import (
-    CampaignOrchestrator, EngineConfig, ParallelExecutor, SerialExecutor,
-    WorkStealingExecutor, plan_campaign,
+    CampaignOrchestrator, EngineConfig, ModuleAffinityScheduling,
+    ParallelExecutor, SerialExecutor, WorkStealingExecutor, plan_campaign,
 )
 
 
@@ -36,6 +36,9 @@ EXECUTORS = [
                  id="parallel-chunk1"),
     pytest.param(lambda: WorkStealingExecutor(processes=2),
                  id="work-stealing"),
+    pytest.param(lambda: WorkStealingExecutor(
+        processes=2, scheduling=ModuleAffinityScheduling()),
+        id="work-stealing-affinity"),
 ]
 
 parametrized = pytest.mark.parametrize("make_executor", EXECUTORS)

@@ -38,7 +38,13 @@ def small_blocks():
 
 @pytest.fixture(scope="module")
 def cold_report(small_blocks):
-    return CampaignOrchestrator(small_blocks, engines=_bdd_engines()).run()
+    """Reference outcome with sharing explicitly off — campaigns now
+    default to ``share_bdd=True``, and these tests are exactly the
+    cold-vs-shared comparison, so the cold side must opt out."""
+    return CampaignOrchestrator(
+        small_blocks, engines=_bdd_engines(),
+        executor=SerialExecutor(share_bdd=False),
+    ).run()
 
 
 # ----------------------------------------------------------------------
@@ -273,7 +279,8 @@ class TestCampaignSharing:
                                                    cold_report):
         before = nodes_created_total()
         cold_again = CampaignOrchestrator(
-            small_blocks, engines=_bdd_engines()).run()
+            small_blocks, engines=_bdd_engines(),
+            executor=SerialExecutor(share_bdd=False)).run()
         cold_nodes = nodes_created_total() - before
         ws = BddWorkspace()
         before = nodes_created_total()
@@ -306,7 +313,9 @@ class TestCampaignSharing:
         check that TIMEOUTs cold — but never the reverse, and never a
         different PASS/FAIL verdict."""
         starved = (EngineConfig(method="bdd-combined", bdd_nodes=50),)
-        cold = CampaignOrchestrator(small_blocks, engines=starved).run()
+        cold = CampaignOrchestrator(
+            small_blocks, engines=starved,
+            executor=SerialExecutor(share_bdd=False)).run()
         shared = CampaignOrchestrator(
             small_blocks, engines=starved,
             executor=SerialExecutor(share_bdd=True)).run()

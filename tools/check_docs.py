@@ -10,7 +10,11 @@ Verifies, without any third-party dependency:
    (starts with a known top-level directory and has an extension)
    exists — catching docs that drift after a refactor;
 3. every example script in ``examples/`` is linked from the README's
-   examples table, so new examples cannot ship undocumented.
+   examples table, so new examples cannot ship undocumented;
+4. the configuration reference (``docs/configuration.md``) documents
+   every ``CampaignConfig`` TOML section and key, and every registered
+   scheduling/portfolio policy name — so a knob added to the config
+   dataclass (or a new policy) cannot ship undocumented.
 
 Exit status 0 = all good; 1 = problems (each printed with file:line).
 
@@ -63,6 +67,51 @@ def check_links(path, problems):
                 )
 
 
+def check_config_reference(problems):
+    """The config reference must track the config schema, not trail it."""
+    doc = REPO / "docs" / "configuration.md"
+    if not doc.is_file():
+        problems.append("docs/configuration.md: missing (the "
+                        "CampaignConfig reference)")
+        return
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        from repro.orchestrate.config import CONFIG_SCHEMA
+        from repro.orchestrate.policy import (
+            PORTFOLIO_POLICIES, SCHEDULING_POLICIES,
+        )
+    finally:
+        sys.path.pop(0)
+    text = doc.read_text()
+    for section, keys in CONFIG_SCHEMA.items():
+        # keys are checked inside their own section's slice (heading
+        # to next heading): [cache] path must not satisfy a deleted
+        # [checkpoint] path row just because the word appears earlier
+        heading = text.find(f"[{section}]")
+        if heading < 0:
+            problems.append(
+                f"docs/configuration.md: section [{section}] of the "
+                f"campaign config is undocumented"
+            )
+            continue
+        end = text.find("\n#", heading)
+        section_text = text[heading:end if end >= 0 else len(text)]
+        for key in keys:
+            if f"`{key}`" not in section_text:
+                problems.append(
+                    f"docs/configuration.md: config key "
+                    f"[{section}] {key} is undocumented"
+                )
+    for kind, registry in (("scheduling", SCHEDULING_POLICIES),
+                           ("portfolio", PORTFOLIO_POLICIES)):
+        for name in registry:
+            if f"`{name}`" not in text:
+                problems.append(
+                    f"docs/configuration.md: {kind} policy "
+                    f"{name!r} is undocumented"
+                )
+
+
 def check_examples_table(problems):
     readme = (REPO / "README.md").read_text()
     for script in sorted((REPO / "examples").glob("*.py")):
@@ -78,13 +127,14 @@ def main():
     for path in doc_files():
         check_links(path, problems)
     check_examples_table(problems)
+    check_config_reference(problems)
     if problems:
         print(f"{len(problems)} documentation problem(s):")
         for problem in problems:
             print(f"  {problem}")
         return 1
     print(f"docs ok: {len(doc_files())} file(s) checked, "
-          f"links and examples table all resolve")
+          f"links, examples table, and config reference all resolve")
     return 0
 
 
