@@ -19,11 +19,25 @@ Runs the same chip campaign several ways —
    portfolio ladder twice — ``portfolio = "static"`` vs ``"adaptive"``
    — comparing wall time and engine attempts, with byte-identical
    outcomes,
+8. a compile-store probe on the fixed block-C scope: the
+   content-addressed ``CompiledProblemStore`` on vs off, measured two
+   ways — serial runs diffing the process-wide
+   ``elaborations_total()`` / ``compilations_total()`` counters (the
+   deterministic savings), and module-affinity work-stealing runs
+   comparing job throughput and the pool's aggregated store hit
+   counters (the scheduled case the store was built for),
 
 verifies every run produces a byte-identical campaign outcome
 (``CampaignReport.canonical_bytes``), and writes a perf record to
 ``benchmarks/out/BENCH_campaign.json`` so future PRs have a trajectory
 to beat.
+
+``--smoke`` runs only the compile-store probe, writes
+``benchmarks/out/BENCH_campaign_smoke.json``, and exits nonzero unless
+the store earns its keep (nonzero hit counters, fewer elaborations,
+store-on throughput not below store-off) — the CI ``bench-smoke`` job
+runs exactly this, so a compile-layer perf regression fails the build
+instead of silently landing.
 
 The pool executors default to ``max(2, cpu_count)`` workers so a real
 pool is exercised even on a 1-CPU container (where CPU-count defaults
@@ -31,7 +45,7 @@ would silently fall back to serial and measure nothing); pass ``--jobs``
 to override.
 
 Run:  python benchmarks/bench_campaign.py [--full] [--blocks A,C]
-                                          [--jobs N]
+                                          [--jobs N] [--smoke]
 """
 
 import argparse
@@ -207,6 +221,122 @@ def _bench_adaptive():
     }
 
 
+def _bench_compile_store(workers):
+    """Compile-store probe on the fixed block-C scope.
+
+    Two measurements, store on vs off, all byte-identical outcomes:
+
+    - **serial / deterministic** — process-wide elaboration and
+      compilation totals (``repro.formal.problems``): with the store
+      on, a campaign pays one elaboration per distinct module instead
+      of one per job;
+    - **affinity-scheduled / throughput** — module-affinity
+      work-stealing pool (one queue pull = one module's whole job
+      group, exactly the case per-worker stores are built for): job
+      throughput plus the pool's aggregated hit counters from
+      ``report.stats["compile_store"]["run"]``.
+
+    Returns the record plus an ``ok`` gate: nonzero hits, fewer
+    elaborations, and store-on throughput not below store-off (a small
+    slack absorbs scheduler noise on shared CI runners; the
+    deterministic counters carry the hard guarantee).
+    """
+    import dataclasses
+
+    from repro.formal.problems import (
+        compilations_total, elaborations_total,
+    )
+
+    blocks = ComponentChip(only_blocks=["C"]).blocks
+    base = CampaignConfig(engines="portfolio:kind,bdd-combined",
+                          sat_conflicts=1_000_000,
+                          bdd_nodes=10_000_000)
+
+    def serial_run(store_on):
+        config = dataclasses.replace(base, compile_store=store_on)
+        elaborations = elaborations_total()
+        compilations = compilations_total()
+        started = time.perf_counter()
+        report = CampaignOrchestrator(blocks, config=config).run()
+        return report, {
+            "seconds": round(time.perf_counter() - started, 3),
+            "elaborations": elaborations_total() - elaborations,
+            "compilations": compilations_total() - compilations,
+        }
+
+    serial_off_report, serial_off = serial_run(False)
+    serial_on_report, serial_on = serial_run(True)
+
+    def pool_run(store_on):
+        config = dataclasses.replace(
+            base, compile_store=store_on,
+            executor=f"workstealing:{workers}",
+            scheduling="module-affinity",
+        )
+        started = time.perf_counter()
+        report = CampaignOrchestrator(blocks, config=config).run()
+        seconds = time.perf_counter() - started
+        return report, seconds
+
+    pool_off_report, pool_off_s = pool_run(False)
+    pool_on_report, pool_on_s = pool_run(True)
+    # the counters are deterministic; the wall-clock comparison is not
+    # (shared CI runners) — one retry of the timed pair absorbs a
+    # transiently contended first measurement before the gate fires
+    if pool_on_s > pool_off_s / 0.85:
+        retry_off_report, retry_off_s = pool_run(False)
+        retry_on_report, retry_on_s = pool_run(True)
+        if retry_on_s / retry_off_s < pool_on_s / pool_off_s:
+            pool_off_report, pool_off_s = retry_off_report, retry_off_s
+            pool_on_report, pool_on_s = retry_on_report, retry_on_s
+
+    jobs = serial_on_report.total_properties
+    throughput_off = jobs / pool_off_s if pool_off_s else 0.0
+    throughput_on = jobs / pool_on_s if pool_on_s else 0.0
+    run_stats = pool_on_report.stats["compile_store"]["run"]
+    hits = run_stats.get("design_hits", 0) + \
+        run_stats.get("problem_hits", 0)
+    identical = len({
+        report.canonical_bytes() for report in (
+            serial_off_report, serial_on_report,
+            pool_off_report, pool_on_report,
+        )
+    }) == 1
+
+    elaborations_saved = serial_off["elaborations"] - \
+        serial_on["elaborations"]
+    print(f"  compile store off:  {serial_off['seconds']:7.2f}s serial "
+          f"({serial_off['elaborations']} elaborations), "
+          f"{pool_off_s:.2f}s affinity pool")
+    print(f"  compile store on:   {serial_on['seconds']:7.2f}s serial "
+          f"({serial_on['elaborations']} elaborations, "
+          f"{elaborations_saved} saved), "
+          f"{pool_on_s:.2f}s affinity pool "
+          f"({hits} store hits)")
+    if not identical:
+        print("  WARNING: compile-store outcome diverged!")
+    ok = (identical and hits > 0 and elaborations_saved > 0
+          and throughput_on >= 0.85 * throughput_off)
+    return {
+        "scope": "block C",
+        "engines": base.engines,
+        "properties": jobs,
+        "serial": {"off": serial_off, "on": serial_on,
+                   "elaborations_saved": elaborations_saved},
+        "affinity_pool": {
+            "workers": workers,
+            "seconds": {"off": round(pool_off_s, 3),
+                        "on": round(pool_on_s, 3)},
+            "jobs_per_second": {"off": round(throughput_off, 2),
+                                "on": round(throughput_on, 2)},
+            "store": run_stats,
+        },
+        "store_hits": hits,
+        "outcomes_identical": identical,
+        "ok": ok,
+    }
+
+
 def _truncate_journal(path, keep_fraction):
     """Keep the header plus the first ``keep_fraction`` of the entries —
     the on-disk state of a campaign killed partway through."""
@@ -226,7 +356,25 @@ def main():
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the pool runs "
                              "(default: max(2, CPU count))")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced CI mode: compile-store probe "
+                             "only, gated exit code")
     args = parser.parse_args()
+
+    if args.smoke:
+        workers = args.jobs or max(2, os.cpu_count() or 1)
+        print(f"compile-store smoke probe ({workers} pool workers)")
+        record = _bench_compile_store(workers)
+        out_path = OUT_PATH.parent / "BENCH_campaign_smoke.json"
+        out_path.parent.mkdir(exist_ok=True)
+        out_path.write_text(json.dumps(
+            {"benchmark": "compile_store_smoke",
+             "compile_store": record}, indent=2) + "\n")
+        print(f"  perf record -> {out_path}")
+        if not record["ok"]:
+            print("  FAIL: compile store did not beat store-off "
+                  "(hits, elaborations, or throughput regressed)")
+        return 0 if record["ok"] else 1
 
     only = None if args.full else args.blocks.split(",")
     chip = ComponentChip(only_blocks=only)
@@ -287,6 +435,7 @@ def main():
 
     workspace_record = _bench_workspace()
     adaptive_record = _bench_adaptive()
+    compile_record = _bench_compile_store(workers)
 
     reports = {
         "serial": serial_report, "parallel": parallel_report,
@@ -344,13 +493,15 @@ def main():
         "outcomes_identical": outcomes_identical,
         "shared_workspace": workspace_record,
         "adaptive_portfolio": adaptive_record,
+        "compile_store": compile_record,
     }
     OUT_PATH.parent.mkdir(exist_ok=True)
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"  perf record -> {OUT_PATH}")
     all_identical = (tables_identical and outcomes_identical
                      and workspace_record["outcomes_identical"]
-                     and adaptive_record["outcomes_identical"])
+                     and adaptive_record["outcomes_identical"]
+                     and compile_record["outcomes_identical"])
     return 0 if all_identical else 1
 
 

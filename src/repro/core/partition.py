@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..formal.problems import note_elaboration
 from ..formal.transition import TransitionSystem
 from ..psl.ast import Always, Name, PslError, RedXor, VUnit
 from ..psl.compile import compile_assertion
@@ -104,13 +105,24 @@ def cut_registers(design: FlatDesign,
 
 
 def partition_property(module: Module, vunit: VUnit, assert_name: str,
-                       cut_regs: List[str]) -> PartitionPlan:
+                       cut_regs: List[str],
+                       store=None) -> PartitionPlan:
     """Divide one asserted property of ``vunit`` at ``cut_regs``.
 
     The returned plan carries one checkpoint sub-problem per cut
     register (its stored word keeps odd parity, under the vunit's
     original assumptions) and the abstracted main problem (the original
     assertion with every cut register freed and assumed parity-clean).
+
+    ``store`` (a :class:`~repro.formal.problems.CompiledProblemStore`)
+    compiles the checkpoint sub-problems through the shared
+    content-addressed layer: every piece of the division — and any
+    other check of the same module in the same worker — reuses one
+    elaborated design instead of re-flattening per piece.  The
+    abstracted main problem necessarily compiles outside the store
+    (its cut design is a derived artifact, not module content) and
+    always starts from a private fresh elaboration, so the cut design
+    never inherits another problem's monitor registers.
     """
     plan = PartitionPlan(module.name, assert_name, list(cut_regs))
 
@@ -125,7 +137,10 @@ def partition_property(module: Module, vunit: VUnit, assert_name: str,
         sub_unit.declare(prop_name, Always(RedXor(Name(reg_name))),
                          comment=f"{reg_name} should keep odd parity")
         sub_unit.assert_(prop_name)
-        ts = compile_assertion(module, sub_unit, prop_name)
+        if store is not None:
+            ts = store.problem(module, sub_unit, prop_name)
+        else:
+            ts = compile_assertion(module, sub_unit, prop_name)
         plan.checkpoint_problems.append(SubProblem(
             name=f"{assert_name}/{reg_name}",
             description=f"integrity of {reg_name} holds as long as the "
@@ -134,6 +149,7 @@ def partition_property(module: Module, vunit: VUnit, assert_name: str,
         ))
 
     # --- step 2: the original property on the cut design
+    note_elaboration()
     design = elaborate(module)
     abstracted, cut_names = cut_registers(design, cut_regs)
     main_unit = VUnit(f"{vunit.name}_divided", vunit.module_name,

@@ -11,6 +11,9 @@ from .bmc import BmcResult, Unroller, bmc
 from .induction import InductionResult, k_induction
 from .bdd import Bdd, nodes_created_total
 from .workspace import BddWorkspace, WorkspaceBinding
+from .problems import (
+    CompiledProblemStore, compilations_total, elaborations_total,
+)
 from .reachability import (
     ReachResult, SymbolicModel, backward_reach, combined_reach,
     forward_reach,
@@ -32,6 +35,7 @@ __all__ = [
     "InductionResult", "k_induction",
     "Bdd", "nodes_created_total",
     "BddWorkspace", "WorkspaceBinding",
+    "CompiledProblemStore", "compilations_total", "elaborations_total",
     "ReachResult", "SymbolicModel", "backward_reach", "combined_reach",
     "forward_reach",
     "PobddStats", "choose_window_vars", "pobdd_reach",

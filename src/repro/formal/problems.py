@@ -1,0 +1,247 @@
+"""Content-addressed compiled-problem store — one compile per content.
+
+The methodology checks many assertions per leaf module, and every one
+of them used to pay the full psl → rtl → transition-system pipeline
+almost from scratch: elaboration hid behind a fragile one-entry design
+cache in the job runner, while the partitioner and the vunit compiler
+reused nothing at all.  A :class:`CompiledProblemStore` replaces those
+scattered compile paths with one **content-addressed, LRU-bounded**
+store with a two-level structure mirroring the pipeline's two fixed
+costs:
+
+- **designs** — the elaborated :class:`~repro.rtl.elaborate.FlatDesign`
+  of a module, keyed by the module's RTL digest (SHA-256 of its emitted
+  Verilog).  Every assertion of a module compiles against the same
+  flattened design, so a campaign pays one elaboration per *distinct
+  module content* instead of one per job;
+- **problems** — the compiled
+  :class:`~repro.formal.transition.TransitionSystem` of one assertion,
+  keyed by ``(module digest, vunit digest, assert name)``.  Replaying a
+  cached FAIL, re-decoding a checkpoint entry, or re-checking the same
+  assertion hits the compiled problem directly and skips the pipeline
+  entirely.
+
+Digest keying is what makes the store safe **by construction** where
+the old one-entry cache needed an object-identity hack: two distinct
+modules may share a name (a golden and a patched variant planned in one
+campaign), but they can never share an RTL digest — so a store hit can
+only ever return the elaboration of byte-identical RTL, never the
+other variant's.
+
+Sharing compiled artifacts is sound because both levels are reused the
+way the pipeline always reused them:
+
+- a :class:`FlatDesign` is compiled against by many assertions in
+  sequence; property monitors appended for ``next`` operators are
+  globally uniquely named and stripped by cone-of-influence reduction
+  when a later problem does not reference them (the long-standing
+  shared-design contract of
+  :func:`~repro.psl.compile.compile_assertion`);
+- a :class:`TransitionSystem` is immutable after construction — engines
+  and trace replay only read it — so one compiled problem can serve any
+  number of checks of the same content.
+
+Stores are deliberately **not** shared across processes (exactly like
+:class:`~repro.formal.workspace.BddWorkspace`): each executor worker
+owns its own, which keeps reuse lock-free; module-affinity scheduling
+(one worker runs one module's whole job group) is what turns the
+per-worker store into near-perfect design reuse.
+
+``max_designs`` / ``max_problems`` bound each level independently
+(least recently used evicted first; ``None`` = unbounded).  Lifetime
+counters (`hits`, `misses`, evictions, per level) surface in
+``CampaignReport.stats["compile_store"]`` and the campaign benchmark's
+compile-store probe.
+
+The module also keeps process-wide totals —
+:func:`elaborations_total` / :func:`compilations_total` — mirroring
+:func:`repro.formal.bdd.nodes_created_total`: benchmarks diff them
+around a campaign to measure how many pipeline runs the store actually
+avoided.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from ..rtl.elaborate import FlatDesign, elaborate
+from ..rtl.module import Module
+from ..rtl.verilog import emit_module
+from .transition import TransitionSystem
+
+#: process-wide pipeline counters (monotonic; diff around a run)
+_ELABORATIONS = 0
+_COMPILATIONS = 0
+
+
+def elaborations_total() -> int:
+    """Process-wide count of module elaborations performed through the
+    compile layer (store misses and store-less compiles alike)."""
+    return _ELABORATIONS
+
+
+def compilations_total() -> int:
+    """Process-wide count of assertion-to-transition-system
+    compilations performed through the compile layer."""
+    return _COMPILATIONS
+
+
+def note_elaboration() -> None:
+    """Count one elaboration.  The primitives themselves call these —
+    :func:`~repro.psl.compile.compile_assertion` counts its compile
+    (and its elaboration when it elaborates), the store counts the
+    elaborations it performs directly — so every compile path, with or
+    without a store, is counted once and store-on/off runs are
+    directly comparable."""
+    global _ELABORATIONS
+    _ELABORATIONS += 1
+
+
+def note_compilation() -> None:
+    """Count one assertion compilation (see :func:`note_elaboration`)."""
+    global _COMPILATIONS
+    _COMPILATIONS += 1
+
+
+def content_digest(text: str) -> str:
+    """SHA-256 hex digest of one content key component (module RTL,
+    vunit PSL) — the same digest the campaign planner stamps into
+    :class:`~repro.orchestrate.job.CheckJob`."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class CompiledProblemStore:
+    """Two-level LRU store of elaborated designs and compiled problems.
+
+    ``design(module)`` returns the module's elaborated
+    :class:`FlatDesign`; ``problem(module, vunit, assert_name)`` returns
+    the assertion's compiled :class:`TransitionSystem` — both served
+    from the store when their content digests match a retained entry,
+    compiled (and retained) otherwise.  Callers that already know the
+    digests (the campaign planner computes them once per module/vunit)
+    pass them in; otherwise the store derives them from the emitted
+    sources.
+
+    Parameters
+    ----------
+    max_designs:
+        Retain at most this many elaborated designs (least recently
+        used evicted first).  ``None`` = unbounded.
+    max_problems:
+        Retain at most this many compiled transition systems.
+        ``None`` = unbounded.
+    """
+
+    def __init__(self, max_designs: Optional[int] = 8,
+                 max_problems: Optional[int] = 64) -> None:
+        if max_designs is not None and max_designs < 1:
+            raise ValueError(
+                f"max_designs must be >= 1 or None, got {max_designs}"
+            )
+        if max_problems is not None and max_problems < 1:
+            raise ValueError(
+                f"max_problems must be >= 1 or None, got {max_problems}"
+            )
+        self.max_designs = max_designs
+        self.max_problems = max_problems
+        #: module digest -> elaborated design, LRU order (oldest first)
+        self._designs: Dict[str, FlatDesign] = {}
+        #: (module digest, vunit digest, assert) -> transition system
+        self._problems: Dict[Tuple[str, str, str], TransitionSystem] = {}
+        self._design_hits = 0
+        self._design_misses = 0
+        self._design_evictions = 0
+        self._problem_hits = 0
+        self._problem_misses = 0
+        self._problem_evictions = 0
+
+    # ------------------------------------------------------------------
+    def design(self, module: Module,
+               module_digest: Optional[str] = None) -> FlatDesign:
+        """The elaborated design for ``module``, served by content.
+
+        A hit refreshes the entry's recency; a miss elaborates, retains
+        (evicting the least recently used design past ``max_designs``),
+        and returns the fresh design.
+        """
+        key = module_digest or content_digest(emit_module(module))
+        design = self._designs.pop(key, None)
+        if design is not None:
+            self._design_hits += 1
+        else:
+            self._design_misses += 1
+            note_elaboration()
+            design = elaborate(module)
+            while self.max_designs is not None \
+                    and len(self._designs) >= self.max_designs:
+                self._designs.pop(next(iter(self._designs)))
+                self._design_evictions += 1
+        self._designs[key] = design  # (re)insert at most-recent end
+        return design
+
+    def problem(self, module: Module, vunit, assert_name: str,
+                module_digest: Optional[str] = None,
+                vunit_digest: Optional[str] = None) -> TransitionSystem:
+        """The compiled safety problem for one asserted property,
+        served by content.
+
+        A miss compiles the assertion against the (store-served)
+        elaborated design and retains the transition system under
+        ``(module digest, vunit digest, assert name)``.
+        """
+        module_key = module_digest or content_digest(emit_module(module))
+        vunit_key = vunit_digest or content_digest(vunit.emit())
+        key = (module_key, vunit_key, assert_name)
+        ts = self._problems.pop(key, None)
+        if ts is not None:
+            self._problem_hits += 1
+        else:
+            self._problem_misses += 1
+            # deferred: psl.compile sits above this module's layer-mates
+            # (it imports formal.transition) — a top-level import here
+            # would be cyclic through the package inits
+            from ..psl.compile import compile_assertion
+            design = self.design(module, module_digest=module_key)
+            ts = compile_assertion(module, vunit, assert_name,
+                                   design=design)
+            while self.max_problems is not None \
+                    and len(self._problems) >= self.max_problems:
+                self._problems.pop(next(iter(self._problems)))
+                self._problem_evictions += 1
+        self._problems[key] = ts  # (re)insert at most-recent end
+        return ts
+
+    # ------------------------------------------------------------------
+    def discard(self) -> None:
+        """Drop every retained design and problem (counters survive);
+        the next request compiles cold."""
+        self._designs.clear()
+        self._problems.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters plus the current pool shape."""
+        return {
+            "designs": len(self._designs),
+            "problems": len(self._problems),
+            "design_hits": self._design_hits,
+            "design_misses": self._design_misses,
+            "design_evictions": self._design_evictions,
+            "problem_hits": self._problem_hits,
+            "problem_misses": self._problem_misses,
+            "problem_evictions": self._problem_evictions,
+        }
+
+    @staticmethod
+    def merge_stats(*stats: Dict[str, int]) -> Dict[str, int]:
+        """Sum counter dicts (per-worker snapshots into one aggregate)."""
+        merged: Dict[str, int] = {}
+        for snapshot in stats:
+            for key, value in snapshot.items():
+                merged[key] = merged.get(key, 0) + int(value)
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"CompiledProblemStore(designs={len(self._designs)}, "
+                f"problems={len(self._problems)}, "
+                f"hits={self._design_hits + self._problem_hits})")

@@ -15,7 +15,9 @@ scheduled, restartable job graph:
   outcome-invariant by construction;
 - :mod:`~repro.orchestrate.job` — :class:`CheckJob` (one property
   check: module + vunit + assertion + engine portfolio), content
-  fingerprints, and the portfolio runner;
+  fingerprints, the portfolio runner, and the serialization codecs
+  (result entries shared with cache/checkpoint, plus the job/result
+  wire format pool executors ship across process boundaries);
 - :mod:`~repro.orchestrate.planner` — one walk over the chip produces
   the flat, ordered job list;
 - :mod:`~repro.orchestrate.executor` — serial, chunked-pool, and
@@ -46,6 +48,23 @@ runs one parametrized battery — plan-order streaming, 0/1/many-job
 edge cases, mid-stream ``close()``, error propagation, contract-breach
 detection — against every shipped executor; a new (e.g. distributed)
 executor only has to join that parametrization to be certified.
+
+The content-addressed compile store
+-----------------------------------
+
+Every compile path — the job runner, cache FAIL-replay, checkpoint
+replay, the partitioner's checkpoint pieces, ``compile_vunit`` — runs
+through a per-worker
+:class:`~repro.formal.problems.CompiledProblemStore`: one elaborated
+design per module RTL digest, one compiled transition system per
+``(module digest, vunit digest, assertion)``.  Digest keying makes the
+golden-vs-patched same-name case safe by construction, campaign
+outcomes are byte-identical with the store on, off, or LRU-bounded
+(tests enforce it across every executor), and the hit/miss/evict
+counters surface in ``report.stats["compile_store"]``.  The knobs live
+in ``CampaignConfig`` (``compile_store`` / ``compile_max_designs`` /
+``compile_max_problems``) and, like the workspace valves, stay out of
+job fingerprints.
 
 Shared BDD workspaces
 ---------------------
@@ -98,14 +117,16 @@ traces on replay, the same never-a-wrong-verdict rule the cache
 enforces.
 """
 
+from ..formal.problems import CompiledProblemStore
 from ..formal.workspace import BddWorkspace
 from .job import (
     CheckJob, DEFAULT_PORTFOLIO_METHODS, EngineConfig, JobResult,
-    compile_job, job_fingerprint, portfolio, run_check_job,
+    compile_job, decode_job_result, decode_result, encode_job_result,
+    encode_result, job_fingerprint, portfolio, run_check_job,
 )
 from .planner import CampaignPlan, plan_campaign
 from .executor import ParallelExecutor, SerialExecutor, WorkStealingExecutor
-from .cache import ResultCache, decode_result, encode_result
+from .cache import ResultCache
 from .checkpoint import CampaignCheckpoint, plan_digest
 from .config import (
     CampaignConfig, ConfigError, parse_engines_spec, parse_executor_spec,
@@ -118,12 +139,13 @@ from .policy import (
 from .orchestrator import CampaignOrchestrator
 
 __all__ = [
-    "BddWorkspace",
+    "BddWorkspace", "CompiledProblemStore",
     "CheckJob", "DEFAULT_PORTFOLIO_METHODS", "EngineConfig", "JobResult",
     "compile_job", "job_fingerprint", "portfolio", "run_check_job",
     "CampaignPlan", "plan_campaign",
     "ParallelExecutor", "SerialExecutor", "WorkStealingExecutor",
     "ResultCache", "decode_result", "encode_result",
+    "decode_job_result", "encode_job_result",
     "CampaignCheckpoint", "plan_digest",
     "CampaignConfig", "ConfigError",
     "parse_engines_spec", "parse_executor_spec",

@@ -34,14 +34,22 @@ order is the LRU order on both sides), newest verdict wins per
 fingerprint (entries carry a ``stored_at`` wall-clock stamp; a missing
 stamp counts as oldest) — and the merged store is staged in a
 uniquely-named temp file (pid + random suffix) before the atomic
-rename.  Two concurrent campaigns sharing one cache path therefore
-both keep their fresh verdicts whatever order their flushes land in;
-the store on disk is always one writer's complete, valid JSON.  The
-one exception to the union: entries this cache evicted as *unsafe*
-(failed replay, malformed) are tombstoned for the lifetime of this
-instance and not resurrected from disk — unless the disk entry was
-stored *after* the eviction, in which case it is a rival campaign's
-fresh re-verified verdict, not the corpse, and survives the merge.
+rename.  The whole read-merge-rename runs under an ``fcntl.flock``
+exclusive lock on a ``<path>.lock`` sidecar, so two campaigns flushing
+*simultaneously* serialize: each one's re-read sees the other's
+completed rename, and neither can clobber the other's final round (the
+pre-lock race both renames could lose).  Two concurrent campaigns
+sharing one cache path therefore both keep their fresh verdicts
+whatever order their flushes land in; the store on disk is always one
+writer's complete, valid JSON.  (On platforms without ``fcntl`` the
+lock degrades to the unlocked merge — still safe for sequential and
+overlapped campaigns, vulnerable only to the simultaneous-rename
+race.)  The one exception to the union: entries this cache evicted as
+*unsafe* (failed replay, malformed) are tombstoned for the lifetime of
+this instance and not resurrected from disk — unless the disk entry
+was stored *after* the eviction, in which case it is a rival
+campaign's fresh re-verified verdict, not the corpse, and survives the
+merge.
 
 ``max_entries`` bounds the store: entries are kept in
 least-recently-used order (a hit refreshes recency, so a nightly ECO
@@ -55,83 +63,33 @@ flush, so a purely-reading run can never clobber a concurrent writer's
 fresh entries with its own stale snapshot (order updates and the trim
 persist whenever the run also stores something).
 
-The entry codec — :func:`encode_result` / :func:`decode_result` — is
+The entry codec — :func:`~repro.orchestrate.job.encode_result` /
+:func:`~repro.orchestrate.job.decode_result`, re-exported here — is
 shared with the campaign checkpoint journal
-(:mod:`repro.orchestrate.checkpoint`): both persistence layers speak
-the same serialized-:class:`CheckResult` dialect and enforce the same
+(:mod:`repro.orchestrate.checkpoint`) and the executors' process wire
+format: every persistence and transport layer speaks the same
+serialized-:class:`CheckResult` dialect and enforces the same
 FAIL-must-replay rule.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
 import uuid
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: flush degrades to the unlocked merge
+    fcntl = None
 
 from .. import __version__
-from ..formal.engine import CheckResult, FAIL, PASS, TIMEOUT, UNKNOWN
-from ..formal.trace import Trace
-from .job import CheckJob, compile_job
+from ..formal.engine import CheckResult, FAIL, PASS
+from .job import CheckJob, decode_result, encode_result  # noqa: F401
 
-_STATUSES = (PASS, FAIL, TIMEOUT, UNKNOWN)
-
-
-def encode_result(result: CheckResult) -> dict:
-    """Serialize one :class:`CheckResult` to a JSON-able entry (trace
-    input frames included for FAIL, so the counterexample can be
-    re-validated on the way back in)."""
-    trace_frames = None
-    if result.trace is not None:
-        trace_frames = result.trace.canonical_frames()
-    return {
-        "name": result.name,
-        "status": result.status,
-        "engine": result.engine,
-        "depth": result.depth,
-        "seconds": result.seconds,
-        "stats": _jsonable(result.stats),
-        "trace": trace_frames,
-    }
-
-
-def decode_result(entry: dict, job: CheckJob,
-                  design_cache: Optional[dict] = None) -> CheckResult:
-    """Rebuild a :class:`CheckResult` from a serialized entry.
-
-    Raises on anything suspicious — unknown status, FAIL without a
-    trace, a counterexample that no longer replays against the freshly
-    compiled transition system — so callers degrade to a re-check
-    instead of ever replaying a wrong verdict.
-    """
-    status = entry["status"]
-    if status not in _STATUSES:
-        raise ValueError(f"unknown cached status {status!r}")
-    trace = None
-    if status == FAIL:
-        frames = entry["trace"]
-        if not isinstance(frames, list) or not frames:
-            raise ValueError("cached FAIL without a trace")
-        ts = compile_job(job, design_cache)
-        trace = Trace(ts, [
-            {int(lit): int(bit) & 1 for lit, bit in frame}
-            for frame in frames
-        ])
-        if not trace.replay():
-            raise ValueError("cached counterexample failed replay")
-    stats = entry.get("stats")
-    stats = dict(stats) if isinstance(stats, dict) else {}
-    depth = entry.get("depth")
-    return CheckResult(
-        name=str(entry.get("name", job.qualified_name)),
-        status=status,
-        engine=str(entry.get("engine", "?")),
-        depth=int(depth) if depth is not None else None,
-        trace=trace,
-        stats=stats,
-        seconds=float(entry.get("seconds") or 0.0),
-    )
 
 
 class ResultCache:
@@ -199,31 +157,58 @@ class ResultCache:
         instance tombstoned are excluded from the union, and the LRU
         cap is re-applied to the merged store.
 
-        The temp file name is unique per flush (pid + random suffix):
-        two campaigns may still flush simultaneously, and each rename
-        atomically installs one writer's complete merged store — never
-        an interleaving of both.
+        The read-merge-rename runs under an exclusive ``fcntl.flock``
+        on the ``<path>.lock`` sidecar, serializing simultaneous
+        flushes: each writer's re-read happens after its rival's rename
+        completed, so neither campaign's final round can be lost.  The
+        temp file name is additionally unique per flush (pid + random
+        suffix), so even on platforms where the lock is unavailable
+        each rename atomically installs one writer's complete merged
+        store — never an interleaving of both.
         """
         if not self._dirty:
             return
-        self._entries = self._merge(self._load(), self._entries)
-        self._evict()
-        payload = {"version": self.VERSION, "repro_version": __version__,
-                   "entries": self._entries}
-        tmp_path = f"{self.path}.tmp.{os.getpid()}.{uuid.uuid4().hex}"
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        try:
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, default=repr)
-            os.replace(tmp_path, self.path)
-        except BaseException:
+        with self._flush_lock():
+            self._entries = self._merge(self._load(), self._entries)
+            self._evict()
+            payload = {"version": self.VERSION,
+                       "repro_version": __version__,
+                       "entries": self._entries}
+            tmp_path = f"{self.path}.tmp.{os.getpid()}.{uuid.uuid4().hex}"
             try:
-                os.remove(tmp_path)
-            except OSError:
-                pass
-            raise
+                with open(tmp_path, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, default=repr)
+                os.replace(tmp_path, self.path)
+            except BaseException:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+                raise
         self._dirty = False
+
+    @contextlib.contextmanager
+    def _flush_lock(self):
+        """Exclusive advisory lock over the flush's read-merge-rename.
+
+        Taken on a ``<path>.lock`` sidecar (never the store itself —
+        the store is replaced by rename, which would leak the lock to a
+        dead inode).  ``fcntl.flock`` locks the open file description,
+        so threads sharing a process and campaigns in separate
+        processes serialize alike.  Degrades to no locking where
+        ``fcntl`` does not exist.
+        """
+        if fcntl is None:
+            yield
+            return
+        with open(f"{self.path}.lock", "a+") as lock_handle:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
 
     def _merge(self, disk: Dict[str, dict],
                ours: Dict[str, dict]) -> Dict[str, dict]:
@@ -309,22 +294,23 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def lookup(self, fingerprint: str, job: CheckJob,
-               design_cache: Optional[dict] = None
-               ) -> Optional[CheckResult]:
+               store=None) -> Optional[CheckResult]:
         """Return the cached :class:`CheckResult` for ``fingerprint``,
         or ``None`` (a miss) when absent or not provably sound.
 
-        On a bounded cache a hit refreshes the entry's recency
-        in-memory — without dirtying the store, so hits alone never
-        cause a flush to rewrite (and potentially clobber) a shared
-        store; the refreshed order is persisted whenever this run also
-        stores something.
+        ``store`` (a :class:`~repro.formal.problems.CompiledProblemStore`)
+        amortises the FAIL-replay compiles across lookups.  On a
+        bounded cache a hit refreshes the entry's recency in-memory —
+        without dirtying the store, so hits alone never cause a flush
+        to rewrite (and potentially clobber) a shared store; the
+        refreshed order is persisted whenever this run also stores
+        something.
         """
         entry = self._entries.get(fingerprint)
         if entry is None:
             return None
         try:
-            result = decode_result(entry, job, design_cache)
+            result = decode_result(entry, job, store)
             if self.max_entries is not None:
                 self._entries.pop(fingerprint)
                 self._entries[fingerprint] = entry
@@ -366,14 +352,3 @@ def _winning_method(entry: dict) -> Optional[str]:
     if engine.startswith("portfolio:"):
         engine = engine[len("portfolio:"):]
     return engine.split(":", 1)[0] or None
-
-
-def _jsonable(value):
-    """Best-effort conversion of engine stats to JSON-safe values."""
-    if isinstance(value, dict):
-        return {str(key): _jsonable(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)

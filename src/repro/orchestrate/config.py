@@ -33,14 +33,33 @@ and the accepted grammar.  ``CampaignOrchestrator`` and the
 kwargs are still accepted as overrides and map onto the config
 defaults (see :mod:`repro.orchestrate.orchestrator`).
 
-The default config **is** the default campaign: single ``auto`` engine
-with the classic budgets, serial executor, no cache, no checkpoint —
-with one deliberate change of default: ``share_bdd = true``.  Shared
-per-module BDD workspaces are outcome-invariant while no node budget
-binds (the default regime) and measurably cheaper, so campaigns now
-share by default; ``share_bdd = false`` is the escape hatch where
-strict run-to-run byte-equality under *binding* node budgets matters
-more than throughput (see ``docs/configuration.md``).
+The default config **is** the default campaign: the classic budgets,
+serial executor, no cache, no checkpoint — with two deliberate changes
+of default:
+
+- ``engines = "portfolio:kind,bdd-combined"`` — campaigns now run an
+  explicit two-stage portfolio instead of the single ``auto`` engine.
+  The ladder is algorithmically identical to ``auto``'s internal
+  induction-then-BDD fallback, but at the portfolio layer it gains the
+  attempt log, the adaptive-policy slot, and portfolio-invariant
+  report canonicalization.  The engine spec participates in job
+  fingerprints, so the flip invalidates result caches written under
+  the old default — ``engines = "auto"`` is the one-line opt-out (see
+  ``docs/configuration.md``);
+- ``share_bdd = true`` — shared per-module BDD workspaces are
+  outcome-invariant while no node budget binds (the default regime)
+  and measurably cheaper; ``share_bdd = false`` is the escape hatch
+  where strict run-to-run byte-equality under *binding* node budgets
+  matters more than throughput.
+
+``[compile]`` exposes the content-addressed
+:class:`~repro.formal.problems.CompiledProblemStore` every compile
+path runs through (``store`` on/off, ``max_designs`` /
+``max_problems`` LRU bounds).  Like the workspace valves, the compile
+knobs are runtime wiring: they participate in the *config* digest (the
+report names the configuration that produced it) but never in job
+fingerprints — a store changes the cost of a check, not its verdict,
+so warmed and cold runs replay each other's cached results.
 """
 
 from __future__ import annotations
@@ -174,6 +193,11 @@ CONFIG_SCHEMA: Dict[str, Dict[str, str]] = {
         "retain_memos": "workspace_retain_memos",
         "max_manager_nodes": "workspace_max_manager_nodes",
     },
+    "compile": {
+        "store": "compile_store",
+        "max_designs": "compile_max_designs",
+        "max_problems": "compile_max_problems",
+    },
     "cache": {
         "path": "cache_path",
         "max_entries": "cache_max_entries",
@@ -200,8 +224,12 @@ class CampaignConfig:
     #: lint the Verifiable RTL while planning
     lint: bool = True
 
-    #: engine spec — single engine or ``portfolio:...`` ladder
-    engines: str = "auto"
+    #: engine spec — single engine or ``portfolio:...`` ladder.  The
+    #: default portfolio mirrors ``auto``'s internal induction-then-BDD
+    #: fallback as explicit stages; ``engines = "auto"`` opts back out
+    #: (note: the spec is fingerprinted, so flipping it misses caches
+    #: written under the other default)
+    engines: str = "portfolio:kind,bdd-combined"
     #: per-stage SAT conflict budget (``None`` = unlimited)
     sat_conflicts: Optional[int] = 200_000
     #: per-stage BDD node budget (``None`` = unlimited)
@@ -234,6 +262,14 @@ class CampaignConfig:
     #: workspace valve: discard managers outgrowing this node count
     workspace_max_manager_nodes: Optional[int] = None
 
+    #: content-addressed compiled-problem store (per worker; off = every
+    #: check recompiles its design and transition system cold)
+    compile_store: bool = True
+    #: compile-store valve: retained elaborated designs (``None`` = all)
+    compile_max_designs: Optional[int] = 8
+    #: compile-store valve: retained compiled problems (``None`` = all)
+    compile_max_problems: Optional[int] = 64
+
     #: result-cache path (``None`` = no cache)
     cache_path: Optional[str] = None
     #: result-cache LRU bound (``None`` = unbounded)
@@ -249,9 +285,11 @@ class CampaignConfig:
     _UNLIMITED_FIELDS = frozenset({
         "sat_conflicts", "bdd_nodes", "cache_max_entries",
         "workspace_max_managers", "workspace_max_manager_nodes",
+        "compile_max_designs", "compile_max_problems",
     })
     _BOUNDED_BY_DEFAULT = frozenset({
         "sat_conflicts", "bdd_nodes", "workspace_max_managers",
+        "compile_max_designs", "compile_max_problems",
     })
 
     def __post_init__(self) -> None:
@@ -294,7 +332,8 @@ class CampaignConfig:
                     f"got {value!r}"
                 )
         for name in ("cache_max_entries", "workspace_max_managers",
-                     "workspace_max_manager_nodes"):
+                     "workspace_max_manager_nodes",
+                     "compile_max_designs", "compile_max_problems"):
             value = getattr(self, name)
             if value is not None and (not _is_int(value) or value < 1):
                 raise ConfigError(
@@ -309,7 +348,7 @@ class CampaignConfig:
                     f"got {getattr(self, name)!r}"
                 )
         for name in ("lint", "unique_states", "share_bdd",
-                     "workspace_retain_memos"):
+                     "workspace_retain_memos", "compile_store"):
             if not isinstance(getattr(self, name), bool):
                 raise ConfigError(
                     f"{name} must be a boolean, "
@@ -453,26 +492,44 @@ class CampaignConfig:
             "max_manager_nodes": self.workspace_max_manager_nodes,
         }
 
+    def compile_store_options(self) -> Dict[str, object]:
+        """Kwargs for the
+        :class:`~repro.formal.problems.CompiledProblemStore`
+        constructor (each executor worker builds one when
+        ``compile_store`` is on)."""
+        return {
+            "max_designs": self.compile_max_designs,
+            "max_problems": self.compile_max_problems,
+        }
+
     def build_executor(self):
         """The executor this config describes, wired with the
-        ``share_bdd`` setting, the workspace valves, and (for the
-        work-stealing executor) the scheduling policy."""
+        ``share_bdd`` setting, the workspace valves, the compile-store
+        knobs, and (for the work-stealing executor) the scheduling
+        policy."""
         from .executor import (
             ParallelExecutor, SerialExecutor, WorkStealingExecutor,
         )
         kind, processes = parse_executor_spec(self.executor)
         options = self.workspace_options()
+        store_options = self.compile_store_options()
         if kind == "serial":
             return SerialExecutor(share_bdd=self.share_bdd,
-                                  workspace_options=options)
+                                  workspace_options=options,
+                                  compile_store=self.compile_store,
+                                  store_options=store_options)
         if kind == "parallel":
             return ParallelExecutor(processes=processes,
                                     share_bdd=self.share_bdd,
-                                    workspace_options=options)
+                                    workspace_options=options,
+                                    compile_store=self.compile_store,
+                                    store_options=store_options)
         return WorkStealingExecutor(processes=processes,
                                     share_bdd=self.share_bdd,
                                     workspace_options=options,
-                                    scheduling=self.build_scheduling())
+                                    scheduling=self.build_scheduling(),
+                                    compile_store=self.compile_store,
+                                    store_options=store_options)
 
     def build_scheduling(self):
         """The scheduling policy instance (``fifo`` unless configured)."""

@@ -61,6 +61,40 @@ workspaces it creates, so the memory valves — ``max_managers``,
 campaigns: e.g. ``WorkStealingExecutor(share_bdd=True,
 workspace_options={"max_manager_nodes": 500_000,
 "retain_memos": False})``.
+
+Compiled-problem stores
+-----------------------
+
+Alongside its workspace, every worker holds a content-addressed
+:class:`~repro.formal.problems.CompiledProblemStore` (on by default,
+``compile_store=False`` to opt out; ``store_options`` forwards the
+``max_designs`` / ``max_problems`` LRU bounds).  The store replaces the
+old one-entry design cache: a module's many jobs share one elaborated
+design keyed by the module's RTL digest, which makes module-affinity
+batches (one queue pull = one module's whole job group) hit a warm
+design for every job after the group's first — and makes the
+golden-vs-patched same-name case safe by construction, since two
+modules with different RTL can never share a digest.  Store scope
+follows worker scope exactly like workspaces (serial: one per
+executor; pools: one private store per worker process), keeping reuse
+lock-free.  ``executor.compile_stats()`` aggregates every worker's
+hit/miss/evict counters after a ``map``; the orchestrator surfaces the
+aggregate in ``report.stats["compile_store"]``.
+
+The process wire format
+-----------------------
+
+Pool workers no longer pickle whole :class:`JobResult` objects back to
+the parent: results cross the process boundary as
+:func:`~repro.orchestrate.job.encode_job_result` dicts — identification
+scalars plus the serialized-result codec the cache and checkpoint
+already speak, with FAIL counterexamples carried as canonical input
+frames rather than the compiled transition system they replay on.  The
+parent re-pairs each entry with its plan job and decodes through its
+own compile store (:func:`~repro.orchestrate.job.decode_job_result`),
+revalidating every FAIL trace by replay.  Result pickles shrink from
+the whole AIG to a few hundred bytes, and the same dict shape is the
+wire format a future socket/SSH multi-host executor ships.
 """
 
 from __future__ import annotations
@@ -71,8 +105,34 @@ import pickle
 import queue as queue_module
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from ..formal.problems import CompiledProblemStore
 from ..formal.workspace import BddWorkspace
-from .job import CheckJob, JobResult, run_check_job
+from .job import (
+    CheckJob, JobResult, decode_job_result, encode_job_result,
+    run_check_job,
+)
+
+
+def _build_store(compile_store: bool,
+                 store_options: Optional[dict]
+                 ) -> Optional[CompiledProblemStore]:
+    return CompiledProblemStore(**(store_options or {})) \
+        if compile_store else None
+
+
+def _note_worker_stats(worker_stats: Dict[int, dict], pid: int,
+                       snapshot: dict) -> None:
+    """Fold one worker's store-counter snapshot into the per-pid map.
+
+    Snapshots are monotonic counters but arrive in *result* order, not
+    chronological order (plan-order reassembly, and scheduling policies
+    may hand units out in any order) — so the freshest snapshot per pid
+    is the element-wise maximum, not the last one seen.
+    """
+    current = worker_stats.setdefault(pid, {})
+    for key, value in snapshot.items():
+        if value > current.get(key, 0):
+            current[key] = value
 
 
 class SerialExecutor:
@@ -82,30 +142,45 @@ class SerialExecutor:
     :class:`~repro.formal.workspace.BddWorkspace` (built with
     ``workspace_options``); alternatively pass an explicit
     ``workspace`` to share (and inspect, via ``workspace.stats()``) a
-    manager pool across multiple runs.
+    manager pool across multiple runs.  The compiled-problem store
+    works the same way: on by default (``compile_store=False`` opts
+    out, ``store_options`` tunes the LRU bounds), or pass an explicit
+    ``store`` to keep compiled designs warm across runs.
     """
 
     name = "serial"
 
     def __init__(self, workspace: Optional[BddWorkspace] = None,
                  share_bdd: bool = False,
-                 workspace_options: Optional[dict] = None) -> None:
+                 workspace_options: Optional[dict] = None,
+                 store: Optional[CompiledProblemStore] = None,
+                 compile_store: bool = True,
+                 store_options: Optional[dict] = None) -> None:
         if workspace is None and share_bdd:
             workspace = BddWorkspace(**(workspace_options or {}))
         self.workspace = workspace
+        if store is None:
+            store = _build_store(compile_store, store_options)
+        self.store = store
 
     def map(self, jobs: Iterable[CheckJob]) -> Iterator[JobResult]:
         """Yield one :class:`JobResult` per job, lazily, in plan order
         (trivially — jobs run one at a time in this process)."""
-        design_cache: Dict[str, tuple] = {}
         for job in jobs:
-            yield run_check_job(job, design_cache,
+            yield run_check_job(job, self.store,
                                 workspace=self.workspace)
 
+    def compile_stats(self) -> Dict[str, int]:
+        """The store's lifetime counters (``{}`` when the store is
+        off) — the serial executor's single worker is this process."""
+        if self.store is None:
+            return {}
+        return {**self.store.stats(), "workers": 1}
 
-#: per-worker-process elaboration cache, module name -> (module, design);
-#: see compile_job for the single-entry + same-object policy
-_WORKER_DESIGNS: Dict[str, tuple] = {}
+
+#: per-worker-process compiled-problem store; installed by
+#: :func:`_init_worker` (``None`` when the parent opted out)
+_WORKER_STORE: Optional[CompiledProblemStore] = None
 
 #: per-worker-process shared BDD workspace; installed by
 #: :func:`_init_worker` when the parent executor asked for sharing
@@ -113,17 +188,31 @@ _WORKER_WORKSPACE: Optional[BddWorkspace] = None
 
 
 def _init_worker(share_bdd: bool,
-                 workspace_options: Optional[dict] = None) -> None:
+                 workspace_options: Optional[dict] = None,
+                 compile_store: bool = True,
+                 store_options: Optional[dict] = None) -> None:
     """Pool-worker initializer: give this worker its own private BDD
-    workspace (never shared across processes) when sharing is on."""
-    global _WORKER_WORKSPACE
+    workspace and compiled-problem store (neither is ever shared
+    across processes)."""
+    global _WORKER_WORKSPACE, _WORKER_STORE
     _WORKER_WORKSPACE = BddWorkspace(**(workspace_options or {})) \
         if share_bdd else None
+    _WORKER_STORE = _build_store(compile_store, store_options)
 
 
-def _worker_run(job: CheckJob) -> JobResult:
-    return run_check_job(job, _WORKER_DESIGNS,
-                         workspace=_WORKER_WORKSPACE)
+def _worker_run(job: CheckJob) -> dict:
+    """Run one job in a pool worker and return the wire-format payload:
+    the encoded result plus this worker's identity and store counters
+    (a handful of ints — the parent keeps each worker's latest snapshot
+    and aggregates after the run)."""
+    job_result = run_check_job(job, _WORKER_STORE,
+                               workspace=_WORKER_WORKSPACE)
+    return {
+        "result": encode_job_result(job_result),
+        "pid": os.getpid(),
+        "store": _WORKER_STORE.stats()
+        if _WORKER_STORE is not None else None,
+    }
 
 
 class ParallelExecutor:
@@ -145,7 +234,9 @@ class ParallelExecutor:
     def __init__(self, processes: Optional[int] = None,
                  chunksize: Optional[int] = None,
                  share_bdd: bool = False,
-                 workspace_options: Optional[dict] = None) -> None:
+                 workspace_options: Optional[dict] = None,
+                 compile_store: bool = True,
+                 store_options: Optional[dict] = None) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if chunksize is not None and chunksize < 1:
@@ -154,7 +245,11 @@ class ParallelExecutor:
         self.chunksize = chunksize
         self.share_bdd = share_bdd
         self.workspace_options = workspace_options
+        self.compile_store = compile_store
+        self.store_options = store_options
         self._fell_back = False
+        self._fallback: Optional[SerialExecutor] = None
+        self._worker_stats: Dict[int, dict] = {}
 
     @property
     def name(self) -> str:
@@ -172,12 +267,21 @@ class ParallelExecutor:
         if len(jobs) <= 1 or self.processes == 1:
             # nothing to parallelise — skip the pool overhead entirely
             self._fell_back = True
-            yield from SerialExecutor(
+            self._fallback = SerialExecutor(
                 share_bdd=self.share_bdd,
                 workspace_options=self.workspace_options,
-            ).map(jobs)
+                compile_store=self.compile_store,
+                store_options=self.store_options,
+            )
+            yield from self._fallback.map(jobs)
             return
         self._fell_back = False
+        self._fallback = None
+        self._worker_stats = {}
+        # the parent's own store only pays for FAIL-trace decodes (a
+        # recompile per failing module), so the default bounds are fine
+        decode_store = _build_store(self.compile_store,
+                                    self.store_options)
         chunksize = self.chunksize or max(
             1, len(jobs) // (self.processes * 4)
         )
@@ -185,11 +289,18 @@ class ParallelExecutor:
         pool = context.Pool(processes=self.processes,
                             initializer=_init_worker,
                             initargs=(self.share_bdd,
-                                      self.workspace_options))
+                                      self.workspace_options,
+                                      self.compile_store,
+                                      self.store_options))
         closed = False
         try:
-            for job_result in pool.imap(_worker_run, jobs, chunksize):
-                yield job_result
+            payloads = pool.imap(_worker_run, jobs, chunksize)
+            for job, payload in zip(jobs, payloads):
+                if payload.get("store") is not None:
+                    _note_worker_stats(self._worker_stats,
+                                       payload["pid"], payload["store"])
+                yield decode_job_result(payload["result"], job,
+                                        decode_store)
             # reached when the consumer drives the generator past the
             # last result (the orchestrator always does): shut the
             # workers down gracefully
@@ -200,6 +311,20 @@ class ParallelExecutor:
             if not closed:
                 pool.terminate()
                 pool.join()
+
+    def compile_stats(self) -> Dict[str, int]:
+        """Aggregated per-worker store counters from the last ``map``
+        (each worker ships its latest snapshot with every result);
+        ``{}`` when the store is off."""
+        if self._fallback is not None:
+            return self._fallback.compile_stats()
+        if not self._worker_stats:
+            return {}
+        merged = CompiledProblemStore.merge_stats(
+            *self._worker_stats.values()
+        )
+        merged["workers"] = len(self._worker_stats)
+        return merged
 
 
 def _pool_context():
@@ -212,7 +337,9 @@ def _pool_context():
 
 
 def _steal_worker(job_queue, result_queue, share_bdd: bool = False,
-                  workspace_options: Optional[dict] = None) -> None:
+                  workspace_options: Optional[dict] = None,
+                  compile_store: bool = True,
+                  store_options: Optional[dict] = None) -> None:
     """Worker loop: pull one work unit at a time until the ``None``
     pill.  A unit is a list of jobs — one job under FIFO scheduling,
     one module's whole job group under module-affinity scheduling (see
@@ -220,25 +347,30 @@ def _steal_worker(job_queue, result_queue, share_bdd: bool = False,
     next pull, each result shipped individually so the parent's
     plan-order stream stays as responsive as single-job stealing.
 
-    Each payload is ``(job index, pickled JobResult | BaseException)``;
-    the parent re-raises exceptions when their job's turn in plan order
-    comes up, matching ``ParallelExecutor``'s error propagation through
-    ``imap``.  A failing job poisons only the rest of its own unit
-    (skipped — their results would be thrown away anyway); the worker
-    keeps stealing other units, exactly like the single-job loop kept
-    stealing other jobs.  Pickling happens here, in the worker, so an
-    unpicklable result or error (a custom engine attaching odd objects
-    to ``CheckResult.stats``) turns into a descriptive RuntimeError
-    instead of dying silently in the queue's feeder thread and
-    masquerading as a dead worker.
+    Each payload is ``(job index, pickled wire dict | BaseException)``
+    — the wire dict carries the encoded result plus this worker's pid
+    and store counters; the parent re-raises exceptions when their
+    job's turn in plan order comes up, matching
+    ``ParallelExecutor``'s error propagation through ``imap``.  A
+    failing job poisons only the rest of its own unit (skipped — their
+    results would be thrown away anyway); the worker keeps stealing
+    other units, exactly like the single-job loop kept stealing other
+    jobs.  Pickling happens here, in the worker, so an unpicklable
+    error (a custom engine raising an exotic exception) turns into a
+    descriptive RuntimeError instead of dying silently in the queue's
+    feeder thread and masquerading as a dead worker; results
+    themselves are plain JSON-able dicts and always pickle.
 
     ``share_bdd`` gives this worker a private multi-manager
     :class:`~repro.formal.workspace.BddWorkspace`: FIFO-stolen jobs
     interleave modules, so the worker retains an LRU pool of per-module
     managers rather than relying on contiguity (module-affinity units
-    make the pool's job trivial — one unit, one hot manager).
+    make the pool's job trivial — one unit, one hot manager).  The
+    private :class:`~repro.formal.problems.CompiledProblemStore` works
+    the same way: affinity units turn it into one elaboration per
+    module group.
     """
-    designs: Dict[str, tuple] = {}
+    store = _build_store(compile_store, store_options)
     workspace = BddWorkspace(**(workspace_options or {})) \
         if share_bdd else None
     while True:
@@ -255,7 +387,13 @@ def _steal_worker(job_queue, result_queue, share_bdd: bool = False,
                 result_queue.put((job.index, failed))
                 continue
             try:
-                payload = run_check_job(job, designs, workspace=workspace)
+                payload = {
+                    "result": encode_job_result(
+                        run_check_job(job, store, workspace=workspace)
+                    ),
+                    "pid": os.getpid(),
+                    "store": store.stats() if store is not None else None,
+                }
             except BaseException as exc:  # ship the failure, keep going
                 payload = exc
             try:
@@ -311,7 +449,9 @@ class WorkStealingExecutor:
                  poll_interval: float = 0.1,
                  share_bdd: bool = False,
                  workspace_options: Optional[dict] = None,
-                 scheduling=None) -> None:
+                 scheduling=None,
+                 compile_store: bool = True,
+                 store_options: Optional[dict] = None) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if poll_interval <= 0:
@@ -322,11 +462,15 @@ class WorkStealingExecutor:
         self.poll_interval = poll_interval
         self.share_bdd = share_bdd
         self.workspace_options = workspace_options
+        self.compile_store = compile_store
+        self.store_options = store_options
         if scheduling is None:
             from .policy import FifoScheduling
             scheduling = FifoScheduling()
         self.scheduling = scheduling
         self._fell_back = False
+        self._fallback: Optional[SerialExecutor] = None
+        self._worker_stats: Dict[int, dict] = {}
 
     @property
     def name(self) -> str:
@@ -344,12 +488,19 @@ class WorkStealingExecutor:
         jobs = list(jobs)
         if len(jobs) <= 1 or self.processes == 1:
             self._fell_back = True
-            yield from SerialExecutor(
+            self._fallback = SerialExecutor(
                 share_bdd=self.share_bdd,
                 workspace_options=self.workspace_options,
-            ).map(jobs)
+                compile_store=self.compile_store,
+                store_options=self.store_options,
+            )
+            yield from self._fallback.map(jobs)
             return
         self._fell_back = False
+        self._fallback = None
+        self._worker_stats = {}
+        decode_store = _build_store(self.compile_store,
+                                    self.store_options)
         units = self.scheduling.batches(jobs)
         if sorted(job.index for unit in units for job in unit) != \
                 sorted(job.index for job in jobs):
@@ -369,7 +520,9 @@ class WorkStealingExecutor:
             context.Process(target=_steal_worker,
                             args=(job_queue, result_queue,
                                   self.share_bdd,
-                                  self.workspace_options),
+                                  self.workspace_options,
+                                  self.compile_store,
+                                  self.store_options),
                             daemon=True)
             for _ in range(worker_count)
         ]
@@ -390,7 +543,11 @@ class WorkStealingExecutor:
                 payload = buffered.pop(job.index)
                 if isinstance(payload, BaseException):
                     raise payload
-                yield payload
+                if payload.get("store") is not None:
+                    _note_worker_stats(self._worker_stats,
+                                       payload["pid"], payload["store"])
+                yield decode_job_result(payload["result"], job,
+                                        decode_store)
         finally:
             for worker in workers:
                 if worker.is_alive():
@@ -403,6 +560,20 @@ class WorkStealingExecutor:
             for q in (job_queue, result_queue):
                 q.cancel_join_thread()
                 q.close()
+
+    def compile_stats(self) -> Dict[str, int]:
+        """Aggregated per-worker store counters from the last ``map``
+        (each worker ships its latest snapshot with every result);
+        ``{}`` when the store is off."""
+        if self._fallback is not None:
+            return self._fallback.compile_stats()
+        if not self._worker_stats:
+            return {}
+        merged = CompiledProblemStore.merge_stats(
+            *self._worker_stats.values()
+        )
+        merged["workers"] = len(self._worker_stats)
+        return merged
 
     def _next_payload(self, result_queue, workers: List) -> tuple:
         """Block for the next (index, payload) pair, watching for a

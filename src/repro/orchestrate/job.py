@@ -10,10 +10,30 @@ to try.  Jobs are:
 - **content-addressed** — :func:`job_fingerprint` hashes the module's
   emitted Verilog, the vunit's PSL text, the assertion name, and the
   engine portfolio, so an unchanged check always maps to the same key
-  (the result cache's index, see :mod:`repro.orchestrate.cache`);
+  (the result cache's index, see :mod:`repro.orchestrate.cache`); the
+  per-component digests also ride on the job (``module_digest``,
+  ``vunit_digest``) and key the shared
+  :class:`~repro.formal.problems.CompiledProblemStore` every compile
+  path runs through;
 - **engine-agnostic** — the portfolio is an ordered tuple of
   :class:`EngineConfig` stages tried until one returns a definitive
   PASS/FAIL verdict, generalising the old hardcoded ``auto`` fallback.
+
+The module also owns the two serialization codecs of the job layer:
+
+- :func:`encode_result` / :func:`decode_result` — one
+  :class:`~repro.formal.engine.CheckResult` to/from a JSON-able entry,
+  shared by the result cache, the checkpoint journal, and the
+  executors' wire format, all enforcing the FAIL-must-replay rule;
+- :func:`encode_job_result` / :func:`decode_job_result` — a whole
+  :class:`JobResult` to/from a plain dict: the process-boundary wire
+  format.  A FAIL's counterexample travels as its canonical input
+  frames only (what report consumers render) instead of dragging the
+  compiled transition system through the pickle; the receiving side
+  recompiles through its :class:`CompiledProblemStore` and revalidates
+  the trace by replay.  The same dict shape — alongside
+  :meth:`CheckJob.spec` on the request side — is the wire format a
+  future socket/SSH executor speaks.
 """
 
 from __future__ import annotations
@@ -25,12 +45,13 @@ from typing import Dict, Optional, Tuple
 
 from ..formal.budget import ResourceBudget
 from ..formal.engine import (
-    CheckResult, EngineOptions, FAIL, PASS, ModelChecker,
+    CheckResult, EngineOptions, FAIL, PASS, TIMEOUT, UNKNOWN, ModelChecker,
 )
+from ..formal.problems import CompiledProblemStore, content_digest
+from ..formal.trace import Trace
 from ..formal.workspace import BddWorkspace
 from ..psl.ast import VUnit
 from ..psl.compile import compile_assertion
-from ..rtl.elaborate import FlatDesign, elaborate
 from ..rtl.module import Module
 from ..rtl.verilog import emit_module
 
@@ -139,7 +160,10 @@ class CheckJob:
     encode their transition relations over the same RTL, which is what
     makes them profitable to run against one shared BDD workspace
     manager (:mod:`repro.formal.workspace`); executors use it as the
-    workspace key.
+    workspace key.  ``vunit_digest`` is the matching SHA-256 of the
+    vunit's PSL source; together with ``assert_name`` the two digests
+    are the content key of the job's compiled problem in a
+    :class:`~repro.formal.problems.CompiledProblemStore`.
 
     ``engine_order`` is execution-time wiring set by a portfolio
     policy (:mod:`repro.orchestrate.policy`): a permutation of
@@ -158,6 +182,7 @@ class CheckJob:
     engines: Tuple[EngineConfig, ...]
     fingerprint: str
     module_digest: str = ""
+    vunit_digest: str = ""
     engine_order: Optional[Tuple[int, ...]] = None
 
     @property
@@ -168,6 +193,32 @@ class CheckJob:
     def workspace_key(self) -> str:
         """The key this job's checks share a BDD manager under."""
         return self.module_digest or self.module.name
+
+    def spec(self) -> Dict[str, object]:
+        """Portable, digest-bearing description of this job — plain
+        JSON-able data, no module/vunit object graphs.
+
+        This is the *request* half of the job wire format (the reply
+        half is :func:`encode_job_result`): everything a remote
+        executor host that already holds the design sources needs to
+        identify, schedule, and key the check — content fingerprint,
+        per-component digests, and the engine portfolio description —
+        without pickling RTL across the socket.
+        """
+        return {
+            "index": self.index,
+            "block": self.block,
+            "module": self.module.name,
+            "vunit": self.vunit.name,
+            "assert": self.assert_name,
+            "category": self.category,
+            "fingerprint": self.fingerprint,
+            "module_digest": self.module_digest,
+            "vunit_digest": self.vunit_digest,
+            "engines": [config.describe() for config in self.engines],
+            "engine_order": list(self.engine_order)
+            if self.engine_order is not None else None,
+        }
 
 
 @dataclass
@@ -201,9 +252,11 @@ def engines_digest(engines: Tuple[EngineConfig, ...]) -> str:
                       sort_keys=True)
 
 
-def text_digest(text: str) -> str:
-    """SHA-256 of one fingerprint component (module RTL, vunit PSL)."""
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+#: SHA-256 of one fingerprint component (module RTL, vunit PSL) — the
+#: store's content digest, aliased: planner-stamped job digests and
+#: store-derived fallback digests MUST come from one function, or a
+#: divergence would turn every store lookup into a permanent miss
+text_digest = content_digest
 
 
 def fingerprint_digests(module_digest: str, vunit_digest: str,
@@ -231,44 +284,43 @@ def job_fingerprint(module: Module, vunit: VUnit, assert_name: str,
 
 
 def compile_job(job: CheckJob,
-                design_cache: Optional[Dict[str, tuple]] = None):
-    """Compile the job's assertion into a transition system, reusing an
-    elaborated design across a module's consecutive jobs when a cache
-    dict is supplied.
+                store: Optional[CompiledProblemStore] = None):
+    """Compile the job's assertion into a transition system, through
+    the content-addressed ``store`` when one is supplied.
 
-    The cache keeps only the most recent module's design: the planner
-    emits each module's jobs contiguously, so one entry gives the same
-    hit rate as keeping every design alive for the whole campaign.  A
-    hit requires the cached entry to come from the *same module
-    object* — two distinct modules may share a name (e.g. a golden and
-    a patched variant in one plan), and checking one against the
-    other's elaboration would corrupt verdicts.
+    The store keys the elaborated design by the module's RTL digest
+    and the compiled problem by ``(module digest, vunit digest,
+    assert name)`` — so a module's many jobs share one elaboration,
+    repeated decodes of the same assertion share one compile, and two
+    distinct modules that happen to share a *name* (a golden and a
+    patched variant planned together) can never be served each other's
+    artifacts: equal digests mean byte-identical RTL by construction.
+    Without a store the job compiles cold.
     """
-    design: Optional[FlatDesign] = None
-    if design_cache is not None:
-        entry = design_cache.get(job.module.name)
-        if entry is not None and entry[0] is job.module:
-            design = entry[1]
-    if design is None:
-        design = elaborate(job.module)
-        if design_cache is not None:
-            design_cache.clear()
-            design_cache[job.module.name] = (job.module, design)
-    return compile_assertion(job.module, job.vunit, job.assert_name,
-                             design=design)
+    if store is None:
+        return compile_assertion(job.module, job.vunit, job.assert_name)
+    return store.problem(job.module, job.vunit, job.assert_name,
+                         module_digest=job.module_digest or None,
+                         vunit_digest=job.vunit_digest or None)
 
 
 def run_check_job(job: CheckJob,
-                  design_cache: Optional[Dict[str, tuple]] = None,
+                  store: Optional[CompiledProblemStore] = None,
                   workspace: Optional[BddWorkspace] = None
                   ) -> JobResult:
-    """Execute one check job: compile, then try each portfolio stage in
-    order until one returns a definitive PASS/FAIL verdict.
+    """Execute one check job: compile (through ``store`` when given —
+    see :func:`compile_job`), then try each portfolio stage in order
+    until one returns a definitive PASS/FAIL verdict.
 
-    With a multi-stage portfolio the winning stage's result is reported
-    (engine label prefixed ``portfolio:``) and every stage attempt is
-    recorded in ``result.stats['portfolio']``; if no stage is
-    definitive, the last stage's result (UNKNOWN/TIMEOUT) stands.
+    Every stage attempt is recorded in ``result.stats['portfolio']``
+    and ``result.seconds`` totals all attempted stages — uniformly,
+    whatever the portfolio size, so single-stage runs keep the same
+    attempt log multi-stage runs do.  With a multi-stage portfolio the
+    winning stage's result is reported (engine label prefixed
+    ``portfolio:`` — the label, unlike the attempt log, stays
+    multi-stage-only because report canonicalization keys off it); if
+    no stage is definitive, the last stage's result (UNKNOWN/TIMEOUT)
+    stands.
 
     ``workspace`` opts the job's BDD-family stages into shared-manager
     mode: the workspace is bound to the job's module key
@@ -300,7 +352,7 @@ def run_check_job(job: CheckJob,
             f"job {job.qualified_name!r}: engine_order {order!r} is not "
             f"a permutation of the {len(job.engines)}-stage portfolio"
         )
-    ts = compile_job(job, design_cache)
+    ts = compile_job(job, store)
     binding = workspace.bind(job.workspace_key) \
         if workspace is not None else None
     attempts = []
@@ -322,11 +374,12 @@ def run_check_job(job: CheckJob,
         # *configured* order, exactly as a static-order run would
         if position > fallback_position:
             result, fallback_position = stage, position
+    # the attempt log and the all-stages cost are recorded uniformly —
+    # a single-stage portfolio keeps the same provenance a ladder does
+    result.stats["portfolio"] = attempts
+    result.seconds = sum(attempt["seconds"] for attempt in attempts)
     if len(job.engines) > 1:
-        result.stats["portfolio"] = attempts
         result.engine = f"portfolio:{result.engine}"
-        # the check cost every stage tried, not just the winning one
-        result.seconds = sum(attempt["seconds"] for attempt in attempts)
     return JobResult(
         index=job.index,
         block=job.block,
@@ -337,3 +390,137 @@ def run_check_job(job: CheckJob,
         result=result,
         cached=False,
     )
+
+
+# ----------------------------------------------------------------------
+# serialization codecs
+# ----------------------------------------------------------------------
+
+_STATUSES = (PASS, FAIL, TIMEOUT, UNKNOWN)
+
+
+def encode_result(result: CheckResult) -> dict:
+    """Serialize one :class:`CheckResult` to a JSON-able entry (trace
+    input frames included for FAIL, so the counterexample can be
+    re-validated on the way back in).
+
+    This is the one serialized-result dialect in the package: the
+    result cache, the checkpoint journal, and the executors' process
+    wire format all speak it, and :func:`decode_result` enforces the
+    same FAIL-must-replay rule for all three.
+    """
+    trace_frames = None
+    if result.trace is not None:
+        trace_frames = result.trace.canonical_frames()
+    return {
+        "name": result.name,
+        "status": result.status,
+        "engine": result.engine,
+        "depth": result.depth,
+        "seconds": result.seconds,
+        "stats": _jsonable(result.stats),
+        "trace": trace_frames,
+    }
+
+
+def decode_result(entry: dict, job: CheckJob,
+                  store: Optional[CompiledProblemStore] = None
+                  ) -> CheckResult:
+    """Rebuild a :class:`CheckResult` from a serialized entry.
+
+    Raises on anything suspicious — unknown status, FAIL without a
+    trace, a counterexample that no longer replays against the freshly
+    compiled transition system — so callers degrade to a re-check
+    instead of ever replaying a wrong verdict.  ``store`` amortises the
+    FAIL-replay compiles: consecutive decodes of one module's entries
+    share its elaborated design (and repeated decodes of one assertion
+    share the compiled problem outright).
+    """
+    status = entry["status"]
+    if status not in _STATUSES:
+        raise ValueError(f"unknown cached status {status!r}")
+    trace = None
+    if status == FAIL:
+        frames = entry["trace"]
+        if not isinstance(frames, list) or not frames:
+            raise ValueError("cached FAIL without a trace")
+        ts = compile_job(job, store)
+        trace = Trace(ts, [
+            {int(lit): int(bit) & 1 for lit, bit in frame}
+            for frame in frames
+        ])
+        if not trace.replay():
+            raise ValueError("cached counterexample failed replay")
+    stats = entry.get("stats")
+    stats = dict(stats) if isinstance(stats, dict) else {}
+    depth = entry.get("depth")
+    return CheckResult(
+        name=str(entry.get("name", job.qualified_name)),
+        status=status,
+        engine=str(entry.get("engine", "?")),
+        depth=int(depth) if depth is not None else None,
+        trace=trace,
+        stats=stats,
+        seconds=float(entry.get("seconds") or 0.0),
+    )
+
+
+def encode_job_result(job_result: JobResult) -> dict:
+    """Serialize one :class:`JobResult` to the plain-dict wire form.
+
+    Identification travels as scalars and the check outcome as
+    :func:`encode_result`'s entry — for a FAIL that means the trace's
+    canonical input frames, **not** the compiled transition system the
+    in-process ``Trace`` object drags along.  A worker's result pickle
+    therefore shrinks from the whole AIG to a few hundred bytes, and
+    the same dict is ready to cross a socket for a future multi-host
+    executor.
+    """
+    return {
+        "index": job_result.index,
+        "block": job_result.block,
+        "module": job_result.module_name,
+        "vunit": job_result.vunit_name,
+        "assert": job_result.assert_name,
+        "category": job_result.category,
+        "result": encode_result(job_result.result),
+    }
+
+
+def decode_job_result(entry: dict, job: CheckJob,
+                      store: Optional[CompiledProblemStore] = None
+                      ) -> JobResult:
+    """Rebuild a :class:`JobResult` from its wire form.
+
+    ``job`` must be the plan's job for the entry's index (executors
+    hold the plan, so re-pairing is a dict lookup).  FAIL outcomes are
+    recompiled through ``store`` and their counterexamples revalidated
+    by replay — the same never-a-wrong-verdict rule every other decode
+    path enforces.
+    """
+    if entry.get("index") != job.index:
+        raise ValueError(
+            f"wire result index {entry.get('index')!r} does not match "
+            f"job {job.index}"
+        )
+    return JobResult(
+        index=job.index,
+        block=str(entry.get("block", job.block)),
+        module_name=str(entry.get("module", job.module.name)),
+        vunit_name=str(entry.get("vunit", job.vunit.name)),
+        assert_name=str(entry.get("assert", job.assert_name)),
+        category=str(entry.get("category", job.category)),
+        result=decode_result(entry["result"], job, store),
+        cached=False,
+    )
+
+
+def _jsonable(value):
+    """Best-effort conversion of engine stats to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.campaign import BlockSummary, CampaignReport, PropertyResult
 from ..formal.engine import CheckResult, FAIL
+from ..formal.problems import CompiledProblemStore
 from .cache import ResultCache, decode_result
 from .checkpoint import CampaignCheckpoint, plan_digest
 from .config import CampaignConfig
@@ -87,14 +88,17 @@ class CampaignOrchestrator:
     stamped ``config_digest`` alone fully describes the run.
     """
 
-    #: default per-job budget limits, matching the legacy
-    #: ``FormalCampaign`` default ``budget_factory`` — generous enough
-    #: for every leaf problem, trips (TIMEOUT) only on genuinely
-    #: oversized cones instead of running unbounded.  Identical to
-    #: ``CampaignConfig().build_engines()`` — the config *is* the
-    #: default campaign.
-    DEFAULT_ENGINES = (
-        EngineConfig(sat_conflicts=200_000, bdd_nodes=2_000_000),
+    #: the default per-job engine portfolio: the induction-then-BDD
+    #: ladder as explicit stages (algorithmically what the old single
+    #: ``auto`` engine did internally), with the legacy budget limits —
+    #: generous enough for every leaf problem, tripping (TIMEOUT) only
+    #: on genuinely oversized cones instead of running unbounded.
+    #: Identical to ``CampaignConfig().build_engines()`` — the config
+    #: *is* the default campaign.
+    DEFAULT_ENGINES = tuple(
+        EngineConfig(method=method,
+                     sat_conflicts=200_000, bdd_nodes=2_000_000)
+        for method in ("kind", "bdd-combined")
     )
 
     def __init__(self, blocks: Blocks,
@@ -134,6 +138,14 @@ class CampaignOrchestrator:
             else config.build_checkpoint()
         self.lint = config.lint if lint is None else lint
         self.portfolio_policy = config.build_portfolio_policy(self.cache)
+        #: the orchestrator's own compiled-problem store, serving the
+        #: journal-replay and cache-lookup decode paths (FAIL traces
+        #: recompile to revalidate); executors hold their workers' run
+        #: stores separately.  Persistent across run() calls, so a
+        #: resume replays against warm designs.
+        self._replay_store: Optional[CompiledProblemStore] = \
+            CompiledProblemStore(**config.compile_store_options()) \
+            if config.compile_store else None
 
     # ------------------------------------------------------------------
     def plan(self) -> CampaignPlan:
@@ -250,6 +262,7 @@ class CampaignOrchestrator:
                 self.cache.flush()
         report.seconds = time.perf_counter() - started
         scheduling = getattr(self.executor, "scheduling", None)
+        compile_stats_fn = getattr(self.executor, "compile_stats", None)
         report.stats = {
             "executor": self.executor.name,
             "engines": [config.method for config in self.engines],
@@ -260,6 +273,16 @@ class CampaignOrchestrator:
             "portfolio_policy": self.portfolio_policy.name,
             "portfolio_reordered": reordered,
             "engine_attempts": engine_attempts,
+            # hit/miss/evict counters of the content-addressed compile
+            # layer: "run" aggregates the executor's per-worker stores
+            # (empty dict = store off or executor without one),
+            # "replay" is the orchestrator's own store serving journal
+            # and cache decodes
+            "compile_store": {
+                "run": compile_stats_fn() if compile_stats_fn else {},
+                "replay": self._replay_store.stats()
+                if self._replay_store is not None else {},
+            },
             "jobs": plan.total_jobs,
             "cache_hits": len(cached_results),
             "cache_misses": len(to_run) if self.cache is not None else 0,
@@ -281,7 +304,6 @@ class CampaignOrchestrator:
         digest = plan_digest(plan)
         replayed: Dict[int, CheckResult] = {}
         if resume:
-            design_cache: dict = {}
             for index, entry in self.checkpoint.load(
                     digest, plan.total_jobs).items():
                 job = plan.jobs[index]
@@ -289,7 +311,7 @@ class CampaignOrchestrator:
                     continue  # stale entry — re-check, never trust it
                 try:
                     replayed[index] = decode_result(
-                        entry["result"], job, design_cache
+                        entry["result"], job, self._replay_store
                     )
                 except Exception:
                     continue  # malformed/unreplayable — re-check
@@ -309,9 +331,9 @@ class CampaignOrchestrator:
             return {}, remaining
         cached: Dict[int, CheckResult] = {}
         to_run: List[CheckJob] = []
-        design_cache: dict = {}
         for job in remaining:
-            result = self.cache.lookup(job.fingerprint, job, design_cache)
+            result = self.cache.lookup(job.fingerprint, job,
+                                       self._replay_store)
             if result is not None:
                 cached[job.index] = result
             else:

@@ -111,6 +111,7 @@ def plan_campaign(blocks: Blocks, engines: Tuple[EngineConfig, ...],
                             engines_text
                         ),
                         module_digest=module_digest,
+                        vunit_digest=vunit_digest,
                     ))
                     index += 1
     return plan

@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Tuple
 
+from ..formal.problems import note_compilation, note_elaboration
 from ..formal.transition import TransitionSystem
 from ..rtl.elaborate import FlatDesign, elaborate
 from ..rtl.module import Module
@@ -161,7 +162,9 @@ def compile_assertion(module: Module, vunit: VUnit, assert_name: str,
     stripped by cone-of-influence reduction).
     """
     if design is None:
+        note_elaboration()
         design = elaborate(module)
+    note_compilation()
     compiler = PropertyCompiler(design)
 
     prop = vunit.property_named(assert_name)
@@ -190,9 +193,23 @@ def compile_assertion(module: Module, vunit: VUnit, assert_name: str,
     return ts
 
 
-def compile_vunit(module: Module, vunit: VUnit) -> List[TransitionSystem]:
-    """One safety problem per asserted property, in directive order."""
+def compile_vunit(module: Module, vunit: VUnit,
+                  store=None) -> List[TransitionSystem]:
+    """One safety problem per asserted property, in directive order.
+
+    ``store`` (a :class:`~repro.formal.problems.CompiledProblemStore`,
+    duck-typed to keep this front-end layer free of upward imports)
+    routes every compilation through the shared content-addressed
+    layer: the vunit's assertions — and every other compilation of the
+    same module content anywhere in the process — share one elaborated
+    design, and re-compiling an unchanged assertion returns the
+    retained transition system outright.  Without a store each
+    assertion elaborates and compiles cold, as before.
+    """
     problems = []
     for assert_name, _ in vunit.asserted():
-        problems.append(compile_assertion(module, vunit, assert_name))
+        if store is not None:
+            problems.append(store.problem(module, vunit, assert_name))
+        else:
+            problems.append(compile_assertion(module, vunit, assert_name))
     return problems

@@ -96,6 +96,8 @@ FULL = dict(
     portfolio="adaptive", share_bdd=False,
     workspace_max_managers=4, workspace_retain_memos=False,
     workspace_max_manager_nodes=100_000,
+    compile_store=False, compile_max_designs=3,
+    compile_max_problems=9,
     cache_path="cache.json", cache_max_entries=50,
     checkpoint_path="campaign.journal",
 )
@@ -156,7 +158,9 @@ class TestDigest:
             unique_states=True, num_window_vars=4, executor="serial",
             scheduling="fifo", portfolio="static", share_bdd=True,
             workspace_max_managers=5, workspace_retain_memos=True,
-            workspace_max_manager_nodes=100_001, cache_path="other.json",
+            workspace_max_manager_nodes=100_001,
+            compile_store=True, compile_max_designs=4,
+            compile_max_problems=10, cache_path="other.json",
             cache_max_entries=51, checkpoint_path="other.journal",
         )
         for field in FULL:

@@ -39,6 +39,19 @@ EXECUTORS = [
     pytest.param(lambda: WorkStealingExecutor(
         processes=2, scheduling=ModuleAffinityScheduling()),
         id="work-stealing-affinity"),
+    # compile-store variants: off entirely, and LRU-thrashed down to a
+    # single retained design/problem — per-worker stores must never
+    # leak across the boundary or move a verdict
+    pytest.param(lambda: WorkStealingExecutor(
+        processes=2, compile_store=False),
+        id="work-stealing-nostore"),
+    pytest.param(lambda: WorkStealingExecutor(
+        processes=2, scheduling=ModuleAffinityScheduling(),
+        store_options={"max_designs": 1, "max_problems": 1}),
+        id="work-stealing-tight-store"),
+    pytest.param(lambda: ParallelExecutor(
+        processes=2, compile_store=False),
+        id="parallel-nostore"),
 ]
 
 parametrized = pytest.mark.parametrize("make_executor", EXECUTORS)

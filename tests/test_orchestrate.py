@@ -383,8 +383,12 @@ class TestResultCache:
         """A crash mid-campaign must not discard verdicts already
         computed — the incremental retry reuses them."""
         path = tmp_path / "results.json"
+        # the crashing run and the retry must share fingerprints, so
+        # build the same engines the retry's default config builds
+        engines = portfolio("kind", "bdd-combined",
+                            sat_conflicts=500_000, bdd_nodes=5_000_000)
         orchestrator = CampaignOrchestrator(
-            small_blocks, engines=_engines(), executor=LossyExecutor(),
+            small_blocks, engines=engines, executor=LossyExecutor(),
             cache=ResultCache(path),
         )
         with pytest.raises(RuntimeError, match="ordering contract"):
@@ -435,9 +439,14 @@ class TestCacheEviction:
         campaign = FormalCampaign(small_blocks, budget_factory=_budget,
                                   cache=ResultCache(path))
         cold = campaign.run()
-        plan = CampaignOrchestrator(small_blocks,
-                                    engines=(EngineConfig.from_budget(
-                                        _budget()),)).plan()
+        # replan with the same engines the campaign's default config
+        # built, so fingerprints line up with the cached entries
+        plan = CampaignOrchestrator(
+            small_blocks,
+            engines=portfolio("kind", "bdd-combined",
+                              sat_conflicts=500_000,
+                              bdd_nodes=5_000_000),
+        ).plan()
         cache = ResultCache(path, max_entries=cold.total_properties)
         oldest = plan.jobs[0]
         assert cache.lookup(oldest.fingerprint, oldest) is not None
@@ -647,8 +656,10 @@ class TestConcurrentFlush:
             owner_counts[owner] = owner_counts.get(owner, 0) + 1
         assert max(owner_counts.values()) == rounds * 10
         assert len(ResultCache(path)) == len(entries)
+        # the flock sidecar is a deliberate artifact; temp files are not
         leftovers = [p.name for p in tmp_path.iterdir()
-                     if p.name != "shared.json"]
+                     if p.name not in ("shared.json",
+                                       "shared.json.lock")]
         assert leftovers == []
 
 
@@ -764,6 +775,94 @@ class TestCacheMerge:
         final = json.loads(pathlib.Path(path).read_text())["entries"]
         assert final["fp"]["engine"] == "pobdd"
         assert "fp-own" in final
+
+
+class TestLockedFlushMerge:
+    """The flock sidecar closes the last merge hole: two *simultaneous*
+    read-merge-rename sequences used to be able to each miss the
+    other's final round.  The choreography below drives exactly that
+    interleaving — cache A re-reads the store, then pauses while cache
+    B flushes, then A renames — and shows the entry loss without the
+    lock and the full union with it."""
+
+    @staticmethod
+    def _choreographed_race(path, locked, monkeypatch):
+        """Run the lost-update interleaving; returns the final store's
+        fingerprints.  ``locked=False`` disables the sidecar lock to
+        reproduce the historical behaviour."""
+        import contextlib
+        import threading
+        from unittest import mock
+
+        if not locked:
+            monkeypatch.setattr(
+                ResultCache, "_flush_lock",
+                lambda self: contextlib.nullcontext(),
+            )
+        cache_a = ResultCache(path)
+        cache_b = ResultCache(path)
+        cache_a.store("fp-a", CheckResult("a", PASS, "kind"))
+        cache_b.store("fp-b", CheckResult("b", PASS, "kind"))
+
+        a_merged = threading.Event()
+        release_a = threading.Event()
+        original_merge = ResultCache._merge
+
+        def pausing_merge(self, disk, ours):
+            merged = original_merge(self, disk, ours)
+            if self is cache_a:
+                # A has re-read the store (no fp-b yet) and merged;
+                # hold its rename open while B races
+                a_merged.set()
+                release_a.wait(timeout=30)
+            return merged
+
+        with mock.patch.object(ResultCache, "_merge", pausing_merge):
+            thread_a = threading.Thread(target=cache_a.flush)
+            thread_a.start()
+            assert a_merged.wait(timeout=30)
+            thread_b = threading.Thread(target=cache_b.flush)
+            thread_b.start()
+            # without the lock B completes here; with it B blocks on
+            # the sidecar until A's rename lands
+            thread_b.join(timeout=1.0)
+            release_a.set()
+            thread_a.join(timeout=30)
+            thread_b.join(timeout=30)
+            assert not thread_a.is_alive() and not thread_b.is_alive()
+        return set(json.loads(pathlib.Path(path).read_text())["entries"])
+
+    def test_simultaneous_flushes_union_under_the_lock(self, tmp_path,
+                                                       monkeypatch):
+        final = self._choreographed_race(
+            str(tmp_path / "shared.json"), locked=True,
+            monkeypatch=monkeypatch,
+        )
+        assert final == {"fp-a", "fp-b"}
+
+    def test_control_experiment_loses_an_entry_without_the_lock(
+            self, tmp_path, monkeypatch):
+        """The same choreography with the lock disabled drops B's
+        entry — proving the test above exercises the real race, not a
+        benign ordering."""
+        final = self._choreographed_race(
+            str(tmp_path / "shared.json"), locked=False,
+            monkeypatch=monkeypatch,
+        )
+        assert final == {"fp-a"}
+
+    def test_lock_degrades_gracefully_without_fcntl(self, tmp_path,
+                                                    monkeypatch):
+        """Platforms without fcntl still flush (merge semantics keep
+        sequential/overlapped safety; only the simultaneous race
+        reopens)."""
+        from repro.orchestrate import cache as cache_module
+        monkeypatch.setattr(cache_module, "fcntl", None)
+        path = str(tmp_path / "shared.json")
+        cache = ResultCache(path)
+        cache.store("fp", CheckResult("p", PASS, "kind"))
+        cache.flush()
+        assert "fp" in ResultCache(path)
 
 
 class TestBlockSummaryAdd:

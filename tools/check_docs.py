@@ -14,7 +14,12 @@ Verifies, without any third-party dependency:
 4. the configuration reference (``docs/configuration.md``) documents
    every ``CampaignConfig`` TOML section and key, and every registered
    scheduling/portfolio policy name — so a knob added to the config
-   dataclass (or a new policy) cannot ship undocumented.
+   dataclass (or a new policy) cannot ship undocumented;
+5. documented defaults track the live config: every key's *default
+   value* as rendered by ``CampaignConfig()`` (via its ``to_dict``
+   TOML form) must appear inside that key's section of the reference —
+   so flipping a default (the engine spec, a compile-store bound)
+   without updating the docs fails CI.
 
 Exit status 0 = all good; 1 = problems (each printed with file:line).
 
@@ -76,13 +81,14 @@ def check_config_reference(problems):
         return
     sys.path.insert(0, str(REPO / "src"))
     try:
-        from repro.orchestrate.config import CONFIG_SCHEMA
+        from repro.orchestrate.config import CONFIG_SCHEMA, CampaignConfig
         from repro.orchestrate.policy import (
             PORTFOLIO_POLICIES, SCHEDULING_POLICIES,
         )
     finally:
         sys.path.pop(0)
     text = doc.read_text()
+    defaults = CampaignConfig().to_dict()
     for section, keys in CONFIG_SCHEMA.items():
         # keys are checked inside their own section's slice (heading
         # to next heading): [cache] path must not satisfy a deleted
@@ -101,6 +107,29 @@ def check_config_reference(problems):
                 problems.append(
                     f"docs/configuration.md: config key "
                     f"[{section}] {key} is undocumented"
+                )
+                continue
+            # documented default must match the live one: render the
+            # default the way the reference table does and require it
+            # on the key's own table row — not merely somewhere in the
+            # section, where another key's equal value would mask a
+            # drift (absent defaults — no-cache paths, unbounded
+            # knobs — have no canonical rendering and are skipped)
+            if key not in defaults.get(section, {}):
+                continue
+            value = defaults[section][key]
+            if isinstance(value, bool):
+                rendered = "true" if value else "false"
+            elif isinstance(value, str):
+                rendered = f'"{value}"'
+            else:
+                rendered = str(value)
+            key_rows = [line for line in section_text.splitlines()
+                        if f"`{key}`" in line]
+            if not any(f"`{rendered}`" in row for row in key_rows):
+                problems.append(
+                    f"docs/configuration.md: [{section}] {key} "
+                    f"default drifted — live default is `{rendered}`"
                 )
     for kind, registry in (("scheduling", SCHEDULING_POLICIES),
                            ("portfolio", PORTFOLIO_POLICIES)):
