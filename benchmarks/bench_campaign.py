@@ -19,7 +19,13 @@ Runs the same chip campaign several ways —
    portfolio ladder twice — ``portfolio = "static"`` vs ``"adaptive"``
    — comparing wall time and engine attempts, with byte-identical
    outcomes,
-8. a compile-store probe on the fixed block-C scope: the
+8. a shared-SAT-workspace probe on one module's whole assertion set
+   with the SAT-heaviest ``portfolio:bmc,kind`` ladder: cold solvers
+   vs one shared incremental workspace (clustered CNFs, retained time
+   frames, learned-clause retention under activation literals),
+   comparing wall time and the deterministic conflict/propagation
+   totals summed over every portfolio attempt,
+9. a compile-store probe on the fixed block-C scope: the
    content-addressed ``CompiledProblemStore`` on vs off, measured two
    ways — serial runs diffing the process-wide
    ``elaborations_total()`` / ``compilations_total()`` counters (the
@@ -32,12 +38,17 @@ verifies every run produces a byte-identical campaign outcome
 ``benchmarks/out/BENCH_campaign.json`` so future PRs have a trajectory
 to beat.
 
-``--smoke`` runs only the compile-store probe, writes
-``benchmarks/out/BENCH_campaign_smoke.json``, and exits nonzero unless
-the store earns its keep (nonzero hit counters, fewer elaborations,
-store-on throughput not below store-off) — the CI ``bench-smoke`` job
-runs exactly this, so a compile-layer perf regression fails the build
-instead of silently landing.
+``--smoke`` runs only the compile-store and SAT-workspace probes,
+writes ``benchmarks/out/BENCH_campaign_smoke.json``, and exits nonzero
+unless both earn their keep — the store with nonzero hit counters,
+fewer elaborations, and throughput not below store-off; the SAT
+workspace with byte-identical outcomes, live reuse counters (session
+reuses, frames and learned clauses retained), and a >=5x
+conflict/propagation reduction or >=2x wall speedup over cold
+solvers.  The CI ``bench-smoke`` job runs exactly this, so a
+compile-layer or solver-layer perf regression fails the build instead
+of silently landing.  Every record carries the host topology (CPU
+count, platform, Python version, pool workers).
 
 The pool executors default to ``max(2, cpu_count)`` workers so a real
 pool is exercised even on a 1-CPU container (where CPU-count defaults
@@ -71,6 +82,20 @@ from repro.orchestrate import (                           # noqa: E402
 )
 
 OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_campaign.json"
+
+
+def _host_topology(workers=None):
+    """The host facts every perf record carries, so trajectories from
+    different machines are never compared apples-to-oranges."""
+    import platform
+    topology = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    if workers is not None:
+        topology["pool_workers"] = workers
+    return topology
 
 
 def _timed_run(blocks, resume=False, **kwargs):
@@ -337,6 +362,102 @@ def _bench_compile_store(workers):
     }
 
 
+def _bench_sat_workspace():
+    """Shared-SAT-workspace probe: one module's whole assertion set on
+    the SAT-heaviest schedule — an iterative-deepening bmc ladder
+    (bounds 5, 10, ..., 40) capped by a kind stage, the standard BMC
+    practice the paper's shared workspace targets — cold solvers vs one
+    shared incremental workspace.
+
+    The scope is fixed (the block-C FSM controller, every stereotype
+    assertion) so the record is comparable across runs.  Work is
+    measured two ways: wall time, and the deterministic solver-effort
+    counters — conflicts and propagations summed over *every* portfolio
+    attempt (losing bmc stages included) from each result's attempt
+    log.  Cold solving restarts each deepening stage from scratch, so a
+    PASS property pays depths ``0..5``, then ``0..10``, ... up to
+    ``0..40``; warm sessions keep time-frame clauses and the proven
+    per-depth blocking units, so every depth is solved once per cluster
+    and re-laddering shallow depths collapses to unit propagation.  The
+    gate passes on a >=5x counter reduction or a >=2x wall speedup,
+    with byte-identical campaign outcomes and live workspace counters.
+    """
+    modules = ComponentChip(only_blocks=["C"]).blocks[0][1]
+    blocks = [("C", modules[:1])]
+    limits = dict(sat_conflicts=1_000_000, bdd_nodes=10_000_000)
+    engines = tuple(
+        EngineConfig(method="bmc", max_bound=bound, **limits)
+        for bound in range(5, 45, 5)
+    ) + (EngineConfig(method="kind", max_k=30, **limits),)
+    engines_spec = "bmc@5..40-step-5,kind (deepening ladder)"
+
+    def solver_effort(report):
+        conflicts = propagations = 0
+        for entry in report.results:
+            for attempt in entry.result.stats.get("portfolio", ()):
+                conflicts += attempt.get("conflicts", 0)
+                propagations += attempt.get("propagations", 0)
+        return conflicts, propagations
+
+    def run(share_sat):
+        orchestrator = CampaignOrchestrator(
+            blocks, engines=engines,
+            executor=SerialExecutor(share_sat=share_sat))
+        started = time.perf_counter()
+        report = orchestrator.run()
+        return report, time.perf_counter() - started
+
+    cold_report, cold_s = run(False)
+    warm_report, warm_s = run(True)
+
+    cold_conflicts, cold_props = solver_effort(cold_report)
+    warm_conflicts, warm_props = solver_effort(warm_report)
+    counters = warm_report.stats["sat_workspace"]
+    identical = cold_report.canonical_bytes() == \
+        warm_report.canonical_bytes()
+    conflict_ratio = cold_conflicts / warm_conflicts \
+        if warm_conflicts else float(cold_conflicts or 1)
+    prop_ratio = cold_props / warm_props \
+        if warm_props else float(cold_props or 1)
+    wall_ratio = cold_s / warm_s if warm_s else 0.0
+
+    print(f"  sat cold solvers:   {cold_s:7.2f}s "
+          f"({cold_conflicts:,} conflicts, "
+          f"{cold_props:,} propagations)")
+    print(f"  sat shared ws:      {warm_s:7.2f}s "
+          f"({warm_conflicts:,} conflicts, {warm_props:,} propagations; "
+          f"{counters.get('reuses', 0)} session reuses, "
+          f"{counters.get('frames_reused', 0)} frames and "
+          f"{counters.get('clauses_retained', 0)} learned clauses "
+          f"retained)")
+    print(f"  sat effort ratio:   {conflict_ratio:.1f}x conflicts, "
+          f"{prop_ratio:.1f}x propagations, {wall_ratio:.1f}x wall")
+    if not identical:
+        print("  WARNING: shared-SAT outcome diverged from cold!")
+    warmed = (counters.get("reuses", 0) > 0
+              and counters.get("frames_reused", 0) > 0
+              and counters.get("clauses_retained", 0) > 0)
+    ok = (identical and warmed
+          and (conflict_ratio >= 5.0 or prop_ratio >= 5.0
+               or wall_ratio >= 2.0))
+    return {
+        "scope": f"module {modules[0].name}",
+        "engines": engines_spec,
+        "properties": cold_report.total_properties,
+        "host": _host_topology(),
+        "seconds": {"cold": round(cold_s, 3),
+                    "shared": round(warm_s, 3)},
+        "conflicts": {"cold": cold_conflicts, "shared": warm_conflicts,
+                      "ratio": round(conflict_ratio, 2)},
+        "propagations": {"cold": cold_props, "shared": warm_props,
+                         "ratio": round(prop_ratio, 2)},
+        "wall_ratio": round(wall_ratio, 2),
+        "workspace": counters,
+        "outcomes_identical": identical,
+        "ok": ok,
+    }
+
+
 def _truncate_journal(path, keep_fraction):
     """Keep the header plus the first ``keep_fraction`` of the entries —
     the on-disk state of a campaign killed partway through."""
@@ -365,16 +486,23 @@ def main():
         workers = args.jobs or max(2, os.cpu_count() or 1)
         print(f"compile-store smoke probe ({workers} pool workers)")
         record = _bench_compile_store(workers)
+        print("sat-workspace smoke probe (cold vs warm, serial)")
+        sat_record = _bench_sat_workspace()
         out_path = OUT_PATH.parent / "BENCH_campaign_smoke.json"
         out_path.parent.mkdir(exist_ok=True)
         out_path.write_text(json.dumps(
-            {"benchmark": "compile_store_smoke",
-             "compile_store": record}, indent=2) + "\n")
+            {"benchmark": "campaign_smoke",
+             "host": _host_topology(workers),
+             "compile_store": record,
+             "sat_workspace": sat_record}, indent=2) + "\n")
         print(f"  perf record -> {out_path}")
         if not record["ok"]:
             print("  FAIL: compile store did not beat store-off "
                   "(hits, elaborations, or throughput regressed)")
-        return 0 if record["ok"] else 1
+        if not sat_record["ok"]:
+            print("  FAIL: shared SAT workspace did not earn its keep "
+                  "(identity, counters, or effort ratio regressed)")
+        return 0 if record["ok"] and sat_record["ok"] else 1
 
     only = None if args.full else args.blocks.split(",")
     chip = ComponentChip(only_blocks=only)
@@ -436,6 +564,7 @@ def main():
     workspace_record = _bench_workspace()
     adaptive_record = _bench_adaptive()
     compile_record = _bench_compile_store(workers)
+    sat_record = _bench_sat_workspace()
 
     reports = {
         "serial": serial_report, "parallel": parallel_report,
@@ -459,6 +588,7 @@ def main():
         "benchmark": "campaign_orchestrator",
         "scope": scope,
         "properties": serial_report.total_properties,
+        "host": _host_topology(workers),
         "cpu_count": os.cpu_count(),
         "pool_workers": workers,
         "parallel_mode": parallel_report.stats["executor"],
@@ -494,6 +624,7 @@ def main():
         "shared_workspace": workspace_record,
         "adaptive_portfolio": adaptive_record,
         "compile_store": compile_record,
+        "sat_workspace": sat_record,
     }
     OUT_PATH.parent.mkdir(exist_ok=True)
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
@@ -501,7 +632,8 @@ def main():
     all_identical = (tables_identical and outcomes_identical
                      and workspace_record["outcomes_identical"]
                      and adaptive_record["outcomes_identical"]
-                     and compile_record["outcomes_identical"])
+                     and compile_record["outcomes_identical"]
+                     and sat_record["outcomes_identical"])
     return 0 if all_identical else 1
 
 

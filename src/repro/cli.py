@@ -18,6 +18,12 @@ One TOML file reproduces one campaign::
   journal and the result cache, and prints how much of the campaign is
   already settled — without running a single engine or writing a byte.
 
+Every command takes ``--stats`` to additionally print the warm-state
+counter blocks — compile-store hit/miss/evict, SAT-workspace session
+reuse, BDD-workspace manager reuse — from ``report.stats`` (``run`` /
+``resume``) or aggregated from the journal's per-result solver
+telemetry (``report``, still without running an engine).
+
 Every command prints the config digest, the same value stamped into
 ``CampaignReport.stats["config_digest"]``, so output and configuration
 can always be matched up after the fact.
@@ -57,10 +63,24 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--config", required=True, metavar="TOML",
                          help="campaign config file "
                               "(see docs/configuration.md)")
+        sub.add_argument("--stats", action="store_true",
+                         help="print warm-state counter blocks "
+                              "(compile store, SAT/BDD workspaces)")
         if action in ("run", "resume"):
             sub.add_argument("--progress", action="store_true",
                              help="print one line per checked property")
     return parser
+
+
+def _print_counters(title: str, counters: dict, indent: str = "  ") -> None:
+    """One warm-state counter block: ``title: k=v k=v ...`` (skipped
+    entirely when the feature was off and shipped no counters)."""
+    flat = {key: value for key, value in counters.items()
+            if isinstance(value, int)}
+    if not flat:
+        return
+    body = " ".join(f"{key}={value}" for key, value in flat.items())
+    print(f"{indent}{title}: {body}")
 
 
 def _blocks(config: CampaignConfig):
@@ -71,7 +91,8 @@ def _blocks(config: CampaignConfig):
     return ComponentChip(only_blocks=only).blocks
 
 
-def _run(config: CampaignConfig, resume: bool, progress: bool) -> int:
+def _run(config: CampaignConfig, resume: bool, progress: bool,
+         show_stats: bool = False) -> int:
     from .core.report import format_status_summary, format_table2
     from .orchestrate import CampaignOrchestrator
 
@@ -101,6 +122,17 @@ def _run(config: CampaignConfig, resume: bool, progress: bool) -> int:
         )
         print(f"engine attempts: {attempts} "
               f"({stats['portfolio_reordered']} reordered by policy)")
+    if show_stats:
+        print("warm-state counters:")
+        compile_store = stats.get("compile_store") or {}
+        _print_counters("compile store (run)",
+                        compile_store.get("run") or {})
+        _print_counters("compile store (replay)",
+                        compile_store.get("replay") or {})
+        _print_counters("sat workspace",
+                        stats.get("sat_workspace") or {})
+        _print_counters("bdd workspace",
+                        stats.get("bdd_workspace") or {})
     print(f"config digest:  {stats['config_digest']}")
     # gate CI on the verification outcome, like the benchmarks do:
     # a campaign that surfaced a FAIL (or starved into TIMEOUT) must
@@ -108,7 +140,7 @@ def _run(config: CampaignConfig, resume: bool, progress: bool) -> int:
     return 0 if report.all_passed else 1
 
 
-def _report(config: CampaignConfig) -> int:
+def _report(config: CampaignConfig, show_stats: bool = False) -> int:
     """Read-only campaign status: how much is already settled."""
     from .orchestrate import CampaignOrchestrator, plan_digest
 
@@ -135,6 +167,22 @@ def _report(config: CampaignConfig) -> int:
     print(f"  cache:    {cached} hits pending "
           f"({config.cache_path or 'not configured'})")
     print(f"  to run:   {remaining}")
+    if show_stats and journaled:
+        # aggregate journaled solver telemetry without replaying a
+        # single engine: each entry's result carried its SAT counters
+        sat_totals: dict = {}
+        for entry in journaled.values():
+            result_stats = (entry.get("result") or {}).get("stats")
+            sat = result_stats.get("sat") \
+                if isinstance(result_stats, dict) else None
+            if not isinstance(sat, dict):
+                continue
+            for key, value in sat.items():
+                # nested base/step splits stay out of the totals —
+                # their counters are already in the merged top level
+                if isinstance(value, int):
+                    sat_totals[key] = sat_totals.get(key, 0) + value
+        _print_counters("journaled sat totals", sat_totals)
     print(f"  config digest: {config.digest()}")
     return 0
 
@@ -147,9 +195,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.action == "report":
-        return _report(config)
+        return _report(config, show_stats=args.stats)
     return _run(config, resume=args.action == "resume",
-                progress=args.progress)
+                progress=args.progress, show_stats=args.stats)
 
 
 if __name__ == "__main__":

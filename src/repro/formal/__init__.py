@@ -5,10 +5,11 @@ model-checker front-end with deterministic resource budgets."""
 from .budget import BudgetExceeded, ResourceBudget, unlimited
 from .sat import Solver
 from .cnf import CnfContext
-from .transition import TransitionSystem
+from .transition import ClusterSystem, TransitionSystem
 from .trace import Trace
-from .bmc import BmcResult, Unroller, bmc
-from .induction import InductionResult, k_induction
+from .bmc import BmcResult, Unroller, bmc, bmc_session
+from .induction import InductionResult, k_induction, k_induction_session
+from .satspace import SatBinding, SatSession, SatWorkspace
 from .bdd import Bdd, nodes_created_total
 from .workspace import BddWorkspace, WorkspaceBinding
 from .problems import (
@@ -30,9 +31,10 @@ from .equivalence import (
 
 __all__ = [
     "BudgetExceeded", "ResourceBudget", "unlimited",
-    "Solver", "CnfContext", "TransitionSystem", "Trace",
-    "BmcResult", "Unroller", "bmc",
-    "InductionResult", "k_induction",
+    "Solver", "CnfContext", "ClusterSystem", "TransitionSystem", "Trace",
+    "BmcResult", "Unroller", "bmc", "bmc_session",
+    "InductionResult", "k_induction", "k_induction_session",
+    "SatBinding", "SatSession", "SatWorkspace",
     "Bdd", "nodes_created_total",
     "BddWorkspace", "WorkspaceBinding",
     "CompiledProblemStore", "compilations_total", "elaborations_total",

@@ -32,6 +32,15 @@ honour ``EngineOptions.workspace``: when a
 engine leases a shared, possibly pre-warmed manager for the problem's
 module instead of building a cold one — same verdicts, fewer node
 constructions (see :mod:`repro.formal.workspace`).
+
+SAT-family engines (``bmc``, ``kind``, and ``auto``'s induction leg)
+likewise honour ``EngineOptions.sat_workspace``: when a
+:class:`~repro.formal.satspace.SatBinding` is attached, they run over
+shared incremental solver sessions — retained frame unrollings and
+learned clauses, per-assertion activation literals — instead of cold
+solvers; failing traces are re-derived cold on the solo-compiled
+system so counterexamples stay byte-canonical (see
+:mod:`repro.formal.satspace`).
 """
 
 from __future__ import annotations
@@ -42,7 +51,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from .bmc import bmc
 from .budget import BudgetExceeded, ResourceBudget
-from .induction import k_induction
+from .induction import k_induction, k_induction_session
 from .pobdd import pobdd_reach
 from .reachability import (
     SymbolicModel, backward_reach, combined_reach, forward_reach,
@@ -99,6 +108,14 @@ class EngineOptions:
     PASS/FAIL verdict; it changes the cost of reaching it (and with it,
     one-sidedly, whether a tight node budget trips — see
     :mod:`repro.orchestrate`).
+
+    ``sat_workspace`` is the SAT-family counterpart: a
+    :class:`~repro.formal.satspace.SatBinding` that ``bmc``/``kind``
+    (and ``auto``'s induction leg) run their queries through, reusing
+    shared solver sessions instead of cold solvers.  Equally excluded
+    from fingerprints and equality — verdicts and depths are invariant;
+    only solve cost changes (two-sidedly under a binding conflict
+    budget, see :mod:`repro.formal.satspace`).
     """
 
     max_bound: int = 60
@@ -107,6 +124,8 @@ class EngineOptions:
     num_window_vars: int = 2
     workspace: Optional[object] = field(default=None, compare=False,
                                         repr=False)
+    sat_workspace: Optional[object] = field(default=None, compare=False,
+                                            repr=False)
 
 
 EngineFn = Callable[["ModelChecker", EngineOptions], CheckResult]
@@ -200,26 +219,65 @@ class ModelChecker(metaclass=_ModelCheckerMeta):
         return result
 
     # ------------------------------------------------------------------
-    def _run_bmc(self, max_bound: int) -> CheckResult:
-        result = bmc(self.ts, max_bound, budget=self.budget)
+    def _sat_binding(self, options: Optional[EngineOptions]):
+        return options.sat_workspace if options is not None else None
+
+    def _rederive_trace(self, depth: int, stats: Dict[str, object]) -> Trace:
+        """Canonical counterexample for a warm-session FAIL: replay the
+        deterministic cold search on the solo-compiled system at the
+        (identical) discovered depth, so trace bytes match a cold run's
+        exactly.  Only FAILs pay this extra solve."""
+        cold = bmc(self.ts, depth, budget=self.budget)
+        if not cold.failed:
+            raise RuntimeError(
+                "shared SAT session found a violation but the cold "
+                f"re-derivation did not within {depth} steps"
+            )
+        stats["concretise"] = cold.stats
+        self._validate(cold.trace)
+        return cold.trace
+
+    def _run_bmc(self, max_bound: int,
+                 options: Optional[EngineOptions] = None) -> CheckResult:
+        binding = self._sat_binding(options)
+        if binding is None:
+            result = bmc(self.ts, max_bound, budget=self.budget)
+            trace = result.trace
+        else:
+            session = binding.lease("bmc-init", self.budget)
+            result = session.bmc_group(binding.assert_name, max_bound)
+            trace = (self._rederive_trace(result.bound, result.stats)
+                     if result.failed else None)
         if result.failed:
-            self._validate(result.trace)
+            self._validate(trace)
             return CheckResult(self.ts.name, FAIL, "bmc",
-                               depth=result.bound, trace=result.trace,
+                               depth=result.bound, trace=trace,
                                stats={"sat": result.stats})
         return CheckResult(self.ts.name, UNKNOWN, "bmc",
                            depth=max_bound, stats={"sat": result.stats})
 
-    def _run_induction(self, max_k: int, unique_states: bool) -> CheckResult:
-        result = k_induction(self.ts, max_k=max_k, budget=self.budget,
-                             unique_states=unique_states)
+    def _run_induction(self, max_k: int, unique_states: bool,
+                       options: Optional[EngineOptions] = None) -> CheckResult:
+        binding = self._sat_binding(options)
+        if binding is None:
+            result = k_induction(self.ts, max_k=max_k, budget=self.budget,
+                                 unique_states=unique_states)
+            trace = result.trace
+        else:
+            base = binding.lease("bmc-init", self.budget)
+            step = binding.lease("step", self.budget)
+            result = k_induction_session(base, step, binding.assert_name,
+                                         max_k=max_k,
+                                         unique_states=unique_states)
+            trace = (self._rederive_trace(result.k, result.stats)
+                     if result.status == "failed" else None)
         if result.status == "proved":
             return CheckResult(self.ts.name, PASS, "kind",
                                depth=result.k, stats={"sat": result.stats})
         if result.status == "failed":
-            self._validate(result.trace)
+            self._validate(trace)
             return CheckResult(self.ts.name, FAIL, "kind",
-                               depth=result.k, trace=result.trace,
+                               depth=result.k, trace=trace,
                                stats={"sat": result.stats})
         return CheckResult(self.ts.name, UNKNOWN, "kind", depth=max_k,
                            stats={"sat": result.stats})
@@ -301,7 +359,8 @@ class ModelChecker(metaclass=_ModelCheckerMeta):
 @register_engine("auto")
 def _engine_auto(checker: ModelChecker, options: EngineOptions) -> CheckResult:
     """Induction first, BDD combined as the decision procedure."""
-    inductive = checker._run_induction(options.max_k, options.unique_states)
+    inductive = checker._run_induction(options.max_k, options.unique_states,
+                                       options)
     if inductive.status in (PASS, FAIL):
         inductive.engine = "auto:kind"
         return inductive
@@ -312,12 +371,13 @@ def _engine_auto(checker: ModelChecker, options: EngineOptions) -> CheckResult:
 
 @register_engine("bmc")
 def _engine_bmc(checker: ModelChecker, options: EngineOptions) -> CheckResult:
-    return checker._run_bmc(options.max_bound)
+    return checker._run_bmc(options.max_bound, options)
 
 
 @register_engine("kind")
 def _engine_kind(checker: ModelChecker, options: EngineOptions) -> CheckResult:
-    return checker._run_induction(options.max_k, options.unique_states)
+    return checker._run_induction(options.max_k, options.unique_states,
+                                  options)
 
 
 def _bdd_engine(method: str) -> EngineFn:

@@ -154,6 +154,29 @@ class Solver:
         }
 
     # ------------------------------------------------------------------
+    # lifecycle for long-lived (workspace-shared) solvers
+    # ------------------------------------------------------------------
+    def rearm(self, budget: Optional[ResourceBudget] = None) -> None:
+        """Swap in the next check's budget.  A solver retained across
+        checks (see :mod:`repro.formal.satspace`) keeps its clauses,
+        learned database, and activities — only the budget is
+        per-check.  A :class:`BudgetExceeded` raised mid-solve leaves
+        the solver consistent (the next ``solve`` cancels to the root
+        level first), so re-arming is all a new lease needs."""
+        self.budget = budget
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """The monotonic solve counters plus the current learned-clause
+        database size — the uniform telemetry block every SAT-family
+        engine reports."""
+        return {**self.stats, "learned_db": len(self._learned)}
+
+    def num_clauses(self) -> int:
+        """Problem plus learned clauses currently attached (the memory
+        valve the SAT workspace's oversize discard checks)."""
+        return len(self._clauses) + len(self._learned)
+
+    # ------------------------------------------------------------------
     # problem construction
     # ------------------------------------------------------------------
     def new_var(self) -> int:
@@ -526,3 +549,13 @@ class Solver:
             sequence -= 1
             index %= size
         return 1 << sequence
+
+
+def stats_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Per-check counters of a shared solver: the monotonic counters are
+    differenced between two :meth:`Solver.stats_snapshot` calls, while
+    ``learned_db`` (a gauge) keeps its current value."""
+    delta = {key: after[key] - before[key]
+             for key in after if key != "learned_db"}
+    delta["learned_db"] = after["learned_db"]
+    return delta

@@ -69,12 +69,16 @@ class TransitionSystem:
         return ts.coi_reduce()
 
     # ------------------------------------------------------------------
-    def coi_reduce(self) -> "TransitionSystem":
+    def coi_reduce(self, extra_roots: Tuple[int, ...] = ()) -> "TransitionSystem":
         """Restrict to the cone of influence of ``bad`` and
-        ``constraint`` (fixpoint through next-state functions)."""
+        ``constraint`` (fixpoint through next-state functions).
+
+        ``extra_roots`` widens the cone to additional AIG literals —
+        used by :class:`ClusterSystem` to build the union cone over all
+        of a cluster's ``bad`` flags."""
         aig = self.aig
         relevant: set = set()
-        frontier = [self.bad, self.constraint]
+        frontier = [self.bad, self.constraint, *extra_roots]
         while frontier:
             _, latch_lits = aig.support(frontier)
             new = [lit for lit in latch_lits if lit not in relevant]
@@ -84,7 +88,7 @@ class TransitionSystem:
             frontier = [self.next_fn[lit] for lit in new]
 
         latches = [lit for lit in self.latches if lit in relevant]
-        roots = [self.bad, self.constraint]
+        roots = [self.bad, self.constraint, *extra_roots]
         roots.extend(self.next_fn[lit] for lit in latches)
         input_lits, _ = aig.support(roots)
         input_set = set(input_lits)
@@ -142,3 +146,96 @@ class TransitionSystem:
 
     def initial_state(self) -> Dict[int, int]:
         return dict(self.init)
+
+
+@dataclass
+class ClusterSystem:
+    """Several assertions of one (module, vunit) compiled into a single
+    shared AIG — the paper's property clustering, in transition-system
+    form.
+
+    The *spine* is a transition system whose latch/input lists cover the
+    union cone of every member's ``bad`` flag plus the shared
+    constraint, with ``bad`` pinned to ``FALSE``: it is what a shared
+    :class:`~repro.formal.bmc.Unroller` unrolls, so one frame encoding
+    serves every member.  ``bads`` maps each assertion name to its AIG
+    literal; engines query a member's violation at frame *k* via
+    ``frame(k).lit(bads[name])``.
+
+    ``view(name)`` recovers the member's own cone-of-influence-reduced
+    problem over the *same* AIG — semantically the member's solo
+    compilation, differing only in AIG literal numbering.  Views are
+    what per-assertion structure (e.g. induction's unique-states latch
+    list) must be computed from: using the union cone instead would
+    weaken simple-path constraints and change proved depths.
+    """
+
+    aig: Aig
+    spine: TransitionSystem
+    bads: Dict[str, int]              # assert name -> violation literal
+    constraint: int = TRUE
+    name: str = ""
+    blaster: Optional[BitBlaster] = None
+    _views: Dict[str, TransitionSystem] = field(default_factory=dict,
+                                                repr=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_blaster(cls, blaster: BitBlaster,
+                     bad_outputs: Dict[str, str],
+                     constraint_output: Optional[str] = None,
+                     name: str = "") -> "ClusterSystem":
+        """Build from a bit-blasted design carrying one 1-bit ``bad``
+        output per member assertion (and optionally a shared 1-bit
+        ``constraint`` output)."""
+        aig = blaster.aig
+        bads: Dict[str, int] = {}
+        for assert_name, output in bad_outputs.items():
+            bits = blaster.output_bits[output]
+            if len(bits) != 1:
+                raise ValueError(f"bad output {output!r} must be 1 bit")
+            bads[assert_name] = bits[0]
+        constraint = TRUE
+        if constraint_output is not None:
+            cons_bits = blaster.output_bits[constraint_output]
+            if len(cons_bits) != 1:
+                raise ValueError(
+                    f"constraint output {constraint_output!r} must be 1 bit"
+                )
+            constraint = cons_bits[0]
+        full = TransitionSystem(
+            aig=aig,
+            inputs=list(aig.inputs),
+            latches=list(aig.latches),
+            init=dict(aig.latch_init),
+            next_fn=dict(aig.latch_next),
+            bad=FALSE,
+            constraint=constraint,
+            name=name or blaster.design.name,
+            blaster=blaster,
+        )
+        spine = full.coi_reduce(extra_roots=tuple(bads.values()))
+        return cls(aig=aig, spine=spine, bads=bads, constraint=constraint,
+                   name=spine.name, blaster=blaster)
+
+    # ------------------------------------------------------------------
+    def members(self) -> List[str]:
+        return list(self.bads)
+
+    def view(self, assert_name: str) -> TransitionSystem:
+        """The member's own COI-reduced problem over the shared AIG."""
+        view = self._views.get(assert_name)
+        if view is None:
+            view = TransitionSystem(
+                aig=self.aig,
+                inputs=self.spine.inputs,
+                latches=self.spine.latches,
+                init=dict(self.spine.init),
+                next_fn=dict(self.spine.next_fn),
+                bad=self.bads[assert_name],
+                constraint=self.constraint,
+                name=f"{self.name}.{assert_name}",
+                blaster=self.blaster,
+            ).coi_reduce()
+            self._views[assert_name] = view
+        return view

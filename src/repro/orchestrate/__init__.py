@@ -93,6 +93,32 @@ generously (or run sharing off) where strict run-to-run byte-equality
 matters more than throughput.  Cost is the only other thing that
 changes: see ``benchmarks/bench_campaign.py``'s workspace record.
 
+Shared SAT workspaces
+---------------------
+
+``share_sat=True`` (the campaign default via ``CampaignConfig``'s
+``[sat]`` section) is the SAT-family counterpart: ``bmc``/``kind``
+stages query a :class:`~repro.formal.satspace.SatWorkspace` of live
+incremental solver sessions.  All assertions of one (module, vunit)
+pair compile into a *cluster* — one shared AIG with a bad output per
+assertion — and each session keeps its solver, unrolled time frames,
+and learned clauses alive across portfolio stages and jobs, with
+per-assertion activation literals scoping clauses so retiring one
+assertion (a unit ``¬act``) deactivates its clauses without touching
+its neighbours'.  Verdicts, depths, *and counterexample bytes* are
+sharing-invariant: a warm FAIL re-derives its trace by a cold
+deterministic BMC replay on the solo-compiled system, so
+``CampaignReport.canonical_bytes`` is identical with the workspace on,
+off, or LRU-thrashed (tests enforce it across every executor).  The
+one documented exception mirrors the BDD workspace: a *binding*
+``sat_conflicts`` budget — and unlike the one-sided BDD case, retained
+clauses can steer CDCL search either way, so pin conflict budgets
+generously (the defaults are non-binding) or run sharing off where
+strict equality under binding budgets matters.  Counters surface in
+``report.stats["sat_workspace"]``; valves (``sat_cluster_limit``,
+``sat_max_sessions``, ``sat_max_session_clauses``) live in
+``CampaignConfig`` and stay out of job fingerprints.
+
 Checkpoint/resume
 -----------------
 
@@ -118,6 +144,7 @@ enforces.
 """
 
 from ..formal.problems import CompiledProblemStore
+from ..formal.satspace import SatWorkspace
 from ..formal.workspace import BddWorkspace
 from .job import (
     CheckJob, DEFAULT_PORTFOLIO_METHODS, EngineConfig, JobResult,
@@ -139,7 +166,7 @@ from .policy import (
 from .orchestrator import CampaignOrchestrator
 
 __all__ = [
-    "BddWorkspace", "CompiledProblemStore",
+    "BddWorkspace", "CompiledProblemStore", "SatWorkspace",
     "CheckJob", "DEFAULT_PORTFOLIO_METHODS", "EngineConfig", "JobResult",
     "compile_job", "job_fingerprint", "portfolio", "run_check_job",
     "CampaignPlan", "plan_campaign",

@@ -52,6 +52,15 @@ of default:
   where strict run-to-run byte-equality under *binding* node budgets
   matters more than throughput.
 
+``[sat]`` exposes the shared incremental SAT workspace
+(:class:`~repro.formal.satspace.SatWorkspace`): ``workspace`` on/off,
+``cluster_limit`` (assertions per shared CNF cluster),
+``max_sessions`` / ``max_session_clauses`` memory valves.  On by
+default for the same reason as ``share_bdd``: verdicts, depths, and
+counterexample bytes are sharing-invariant (binding ``sat_conflicts``
+budgets are the documented exception), and warm sessions are
+measurably cheaper on SAT-heavy ladders.
+
 ``[compile]`` exposes the content-addressed
 :class:`~repro.formal.problems.CompiledProblemStore` every compile
 path runs through (``store`` on/off, ``max_designs`` /
@@ -193,6 +202,12 @@ CONFIG_SCHEMA: Dict[str, Dict[str, str]] = {
         "retain_memos": "workspace_retain_memos",
         "max_manager_nodes": "workspace_max_manager_nodes",
     },
+    "sat": {
+        "workspace": "sat_workspace",
+        "cluster_limit": "sat_cluster_limit",
+        "max_sessions": "sat_max_sessions",
+        "max_session_clauses": "sat_max_session_clauses",
+    },
     "compile": {
         "store": "compile_store",
         "max_designs": "compile_max_designs",
@@ -262,6 +277,23 @@ class CampaignConfig:
     #: workspace valve: discard managers outgrowing this node count
     workspace_max_manager_nodes: Optional[int] = None
 
+    #: shared incremental SAT workspaces (per worker): clustered
+    #: per-(module, vunit) CNFs with learned-clause retention across
+    #: assertions.  Verdict- and byte-invariant (failing traces are
+    #: re-derived cold); like ``share_bdd``, the exception is a
+    #: *binding* ``sat_conflicts`` budget, where retained clauses can
+    #: shift the conflict count either way
+    sat_workspace: bool = True
+    #: assertions per shared CNF cluster (the paper's clustering ablation
+    #: plateaus by 16; ``1`` degenerates to one session per assertion)
+    sat_cluster_limit: int = 16
+    #: SAT valve: live solver sessions retained per worker
+    #: (``None`` = all)
+    sat_max_sessions: Optional[int] = 8
+    #: SAT valve: discard sessions whose clause DB outgrows this
+    #: (``None`` = unlimited)
+    sat_max_session_clauses: Optional[int] = None
+
     #: content-addressed compiled-problem store (per worker; off = every
     #: check recompiles its design and transition system cold)
     compile_store: bool = True
@@ -286,10 +318,12 @@ class CampaignConfig:
         "sat_conflicts", "bdd_nodes", "cache_max_entries",
         "workspace_max_managers", "workspace_max_manager_nodes",
         "compile_max_designs", "compile_max_problems",
+        "sat_max_sessions", "sat_max_session_clauses",
     })
     _BOUNDED_BY_DEFAULT = frozenset({
         "sat_conflicts", "bdd_nodes", "workspace_max_managers",
         "compile_max_designs", "compile_max_problems",
+        "sat_max_sessions",
     })
 
     def __post_init__(self) -> None:
@@ -333,14 +367,16 @@ class CampaignConfig:
                 )
         for name in ("cache_max_entries", "workspace_max_managers",
                      "workspace_max_manager_nodes",
-                     "compile_max_designs", "compile_max_problems"):
+                     "compile_max_designs", "compile_max_problems",
+                     "sat_max_sessions", "sat_max_session_clauses"):
             value = getattr(self, name)
             if value is not None and (not _is_int(value) or value < 1):
                 raise ConfigError(
                     f"{name} must be a positive integer or absent, "
                     f"got {value!r}"
                 )
-        for name in ("max_bound", "max_k", "num_window_vars"):
+        for name in ("max_bound", "max_k", "num_window_vars",
+                     "sat_cluster_limit"):
             if not _is_int(getattr(self, name)) \
                     or getattr(self, name) < 1:
                 raise ConfigError(
@@ -348,7 +384,8 @@ class CampaignConfig:
                     f"got {getattr(self, name)!r}"
                 )
         for name in ("lint", "unique_states", "share_bdd",
-                     "workspace_retain_memos", "compile_store"):
+                     "workspace_retain_memos", "compile_store",
+                     "sat_workspace"):
             if not isinstance(getattr(self, name), bool):
                 raise ConfigError(
                     f"{name} must be a boolean, "
@@ -492,6 +529,16 @@ class CampaignConfig:
             "max_manager_nodes": self.workspace_max_manager_nodes,
         }
 
+    def sat_workspace_options(self) -> Dict[str, object]:
+        """Kwargs for the :class:`~repro.formal.satspace.SatWorkspace`
+        constructor (the executor builds one per worker when
+        ``sat_workspace`` is on)."""
+        return {
+            "cluster_limit": self.sat_cluster_limit,
+            "max_sessions": self.sat_max_sessions,
+            "max_session_clauses": self.sat_max_session_clauses,
+        }
+
     def compile_store_options(self) -> Dict[str, object]:
         """Kwargs for the
         :class:`~repro.formal.problems.CompiledProblemStore`
@@ -513,23 +560,30 @@ class CampaignConfig:
         kind, processes = parse_executor_spec(self.executor)
         options = self.workspace_options()
         store_options = self.compile_store_options()
+        sat_options = self.sat_workspace_options()
         if kind == "serial":
             return SerialExecutor(share_bdd=self.share_bdd,
                                   workspace_options=options,
                                   compile_store=self.compile_store,
-                                  store_options=store_options)
+                                  store_options=store_options,
+                                  share_sat=self.sat_workspace,
+                                  sat_options=sat_options)
         if kind == "parallel":
             return ParallelExecutor(processes=processes,
                                     share_bdd=self.share_bdd,
                                     workspace_options=options,
                                     compile_store=self.compile_store,
-                                    store_options=store_options)
+                                    store_options=store_options,
+                                    share_sat=self.sat_workspace,
+                                    sat_options=sat_options)
         return WorkStealingExecutor(processes=processes,
                                     share_bdd=self.share_bdd,
                                     workspace_options=options,
                                     scheduling=self.build_scheduling(),
                                     compile_store=self.compile_store,
-                                    store_options=store_options)
+                                    store_options=store_options,
+                                    share_sat=self.sat_workspace,
+                                    sat_options=sat_options)
 
     def build_scheduling(self):
         """The scheduling policy instance (``fifo`` unless configured)."""

@@ -62,6 +62,30 @@ campaigns: e.g. ``WorkStealingExecutor(share_bdd=True,
 workspace_options={"max_manager_nodes": 500_000,
 "retain_memos": False})``.
 
+Shared SAT workspaces
+---------------------
+
+``share_sat=True`` is the SAT-family counterpart: jobs run against a
+:class:`~repro.formal.satspace.SatWorkspace`, so ``bmc``/``kind``
+stages query shared incremental solver sessions — clustered
+per-(module, vunit) CNFs, retained time-frame encodings, learned
+clauses surviving across assertions under per-assertion activation
+literals — instead of building cold solvers (``sat_options`` forwards
+the constructor kwargs: ``cluster_limit``, ``max_sessions``,
+``max_session_clauses``).  Verdicts, depths, and counterexample bytes
+are sharing-invariant (failing traces are re-derived cold on the solo
+compile), so ``CampaignReport.canonical_bytes`` is identical with
+sharing on or off; like the BDD workspace, the one exception is a
+*binding* budget — and unlike the BDD case the effect is two-sided,
+since retained clauses can steer CDCL search either way.  Scope follows
+worker scope exactly as for BDD workspaces: serial executors hold one
+workspace (or accept an explicit ``sat_workspace=`` to keep sessions
+warm across runs), pool workers each build their own.
+``executor.sat_stats()`` aggregates the counters after a ``map``; the
+orchestrator surfaces them in ``report.stats["sat_workspace"]``
+(``workspace_stats()`` / ``report.stats["bdd_workspace"]`` do the same
+for the BDD side).
+
 Compiled-problem stores
 -----------------------
 
@@ -106,6 +130,7 @@ import queue as queue_module
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..formal.problems import CompiledProblemStore
+from ..formal.satspace import SatWorkspace
 from ..formal.workspace import BddWorkspace
 from .job import (
     CheckJob, JobResult, decode_job_result, encode_job_result,
@@ -118,6 +143,21 @@ def _build_store(compile_store: bool,
                  ) -> Optional[CompiledProblemStore]:
     return CompiledProblemStore(**(store_options or {})) \
         if compile_store else None
+
+
+def _build_sat(share_sat: bool,
+               sat_options: Optional[dict]) -> Optional[SatWorkspace]:
+    return SatWorkspace(**(sat_options or {})) if share_sat else None
+
+
+def _merge_worker_stats(worker_stats: Dict[int, dict]) -> Dict[str, int]:
+    """Sum the freshest per-worker counter snapshots (``{}`` when no
+    worker shipped any)."""
+    if not worker_stats:
+        return {}
+    merged = CompiledProblemStore.merge_stats(*worker_stats.values())
+    merged["workers"] = len(worker_stats)
+    return merged
 
 
 def _note_worker_stats(worker_stats: Dict[int, dict], pid: int,
@@ -145,7 +185,11 @@ class SerialExecutor:
     manager pool across multiple runs.  The compiled-problem store
     works the same way: on by default (``compile_store=False`` opts
     out, ``store_options`` tunes the LRU bounds), or pass an explicit
-    ``store`` to keep compiled designs warm across runs.
+    ``store`` to keep compiled designs warm across runs.  SAT-session
+    sharing follows the same shape: ``share_sat=True`` builds a
+    :class:`~repro.formal.satspace.SatWorkspace` (with ``sat_options``),
+    or pass an explicit ``sat_workspace`` to keep solver sessions warm
+    across runs.
     """
 
     name = "serial"
@@ -155,20 +199,27 @@ class SerialExecutor:
                  workspace_options: Optional[dict] = None,
                  store: Optional[CompiledProblemStore] = None,
                  compile_store: bool = True,
-                 store_options: Optional[dict] = None) -> None:
+                 store_options: Optional[dict] = None,
+                 sat_workspace: Optional[SatWorkspace] = None,
+                 share_sat: bool = False,
+                 sat_options: Optional[dict] = None) -> None:
         if workspace is None and share_bdd:
             workspace = BddWorkspace(**(workspace_options or {}))
         self.workspace = workspace
         if store is None:
             store = _build_store(compile_store, store_options)
         self.store = store
+        if sat_workspace is None:
+            sat_workspace = _build_sat(share_sat, sat_options)
+        self.sat_workspace = sat_workspace
 
     def map(self, jobs: Iterable[CheckJob]) -> Iterator[JobResult]:
         """Yield one :class:`JobResult` per job, lazily, in plan order
         (trivially — jobs run one at a time in this process)."""
         for job in jobs:
             yield run_check_job(job, self.store,
-                                workspace=self.workspace)
+                                workspace=self.workspace,
+                                sat_workspace=self.sat_workspace)
 
     def compile_stats(self) -> Dict[str, int]:
         """The store's lifetime counters (``{}`` when the store is
@@ -176,6 +227,18 @@ class SerialExecutor:
         if self.store is None:
             return {}
         return {**self.store.stats(), "workers": 1}
+
+    def sat_stats(self) -> Dict[str, int]:
+        """The SAT workspace's lifetime counters (``{}`` when off)."""
+        if self.sat_workspace is None:
+            return {}
+        return {**self.sat_workspace.stats(), "workers": 1}
+
+    def workspace_stats(self) -> Dict[str, int]:
+        """The BDD workspace's lifetime counters (``{}`` when off)."""
+        if self.workspace is None:
+            return {}
+        return {**self.workspace.stats(), "workers": 1}
 
 
 #: per-worker-process compiled-problem store; installed by
@@ -186,32 +249,43 @@ _WORKER_STORE: Optional[CompiledProblemStore] = None
 #: :func:`_init_worker` when the parent executor asked for sharing
 _WORKER_WORKSPACE: Optional[BddWorkspace] = None
 
+#: per-worker-process shared SAT workspace; installed by
+#: :func:`_init_worker` when the parent executor asked for sharing
+_WORKER_SAT: Optional[SatWorkspace] = None
+
 
 def _init_worker(share_bdd: bool,
                  workspace_options: Optional[dict] = None,
                  compile_store: bool = True,
-                 store_options: Optional[dict] = None) -> None:
+                 store_options: Optional[dict] = None,
+                 share_sat: bool = False,
+                 sat_options: Optional[dict] = None) -> None:
     """Pool-worker initializer: give this worker its own private BDD
-    workspace and compiled-problem store (neither is ever shared
-    across processes)."""
-    global _WORKER_WORKSPACE, _WORKER_STORE
+    workspace, SAT workspace, and compiled-problem store (none is ever
+    shared across processes)."""
+    global _WORKER_WORKSPACE, _WORKER_STORE, _WORKER_SAT
     _WORKER_WORKSPACE = BddWorkspace(**(workspace_options or {})) \
         if share_bdd else None
     _WORKER_STORE = _build_store(compile_store, store_options)
+    _WORKER_SAT = _build_sat(share_sat, sat_options)
 
 
 def _worker_run(job: CheckJob) -> dict:
     """Run one job in a pool worker and return the wire-format payload:
-    the encoded result plus this worker's identity and store counters
-    (a handful of ints — the parent keeps each worker's latest snapshot
-    and aggregates after the run)."""
+    the encoded result plus this worker's identity and warm-state
+    counters (a handful of ints — the parent keeps each worker's latest
+    snapshot and aggregates after the run)."""
     job_result = run_check_job(job, _WORKER_STORE,
-                               workspace=_WORKER_WORKSPACE)
+                               workspace=_WORKER_WORKSPACE,
+                               sat_workspace=_WORKER_SAT)
     return {
         "result": encode_job_result(job_result),
         "pid": os.getpid(),
         "store": _WORKER_STORE.stats()
         if _WORKER_STORE is not None else None,
+        "sat": _WORKER_SAT.stats() if _WORKER_SAT is not None else None,
+        "bdd": _WORKER_WORKSPACE.stats()
+        if _WORKER_WORKSPACE is not None else None,
     }
 
 
@@ -236,7 +310,9 @@ class ParallelExecutor:
                  share_bdd: bool = False,
                  workspace_options: Optional[dict] = None,
                  compile_store: bool = True,
-                 store_options: Optional[dict] = None) -> None:
+                 store_options: Optional[dict] = None,
+                 share_sat: bool = False,
+                 sat_options: Optional[dict] = None) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if chunksize is not None and chunksize < 1:
@@ -247,9 +323,13 @@ class ParallelExecutor:
         self.workspace_options = workspace_options
         self.compile_store = compile_store
         self.store_options = store_options
+        self.share_sat = share_sat
+        self.sat_options = sat_options
         self._fell_back = False
         self._fallback: Optional[SerialExecutor] = None
         self._worker_stats: Dict[int, dict] = {}
+        self._sat_worker_stats: Dict[int, dict] = {}
+        self._bdd_worker_stats: Dict[int, dict] = {}
 
     @property
     def name(self) -> str:
@@ -272,12 +352,16 @@ class ParallelExecutor:
                 workspace_options=self.workspace_options,
                 compile_store=self.compile_store,
                 store_options=self.store_options,
+                share_sat=self.share_sat,
+                sat_options=self.sat_options,
             )
             yield from self._fallback.map(jobs)
             return
         self._fell_back = False
         self._fallback = None
         self._worker_stats = {}
+        self._sat_worker_stats = {}
+        self._bdd_worker_stats = {}
         # the parent's own store only pays for FAIL-trace decodes (a
         # recompile per failing module), so the default bounds are fine
         decode_store = _build_store(self.compile_store,
@@ -291,14 +375,14 @@ class ParallelExecutor:
                             initargs=(self.share_bdd,
                                       self.workspace_options,
                                       self.compile_store,
-                                      self.store_options))
+                                      self.store_options,
+                                      self.share_sat,
+                                      self.sat_options))
         closed = False
         try:
             payloads = pool.imap(_worker_run, jobs, chunksize)
             for job, payload in zip(jobs, payloads):
-                if payload.get("store") is not None:
-                    _note_worker_stats(self._worker_stats,
-                                       payload["pid"], payload["store"])
+                self._note_payload_stats(payload)
                 yield decode_job_result(payload["result"], job,
                                         decode_store)
             # reached when the consumer drives the generator past the
@@ -312,19 +396,36 @@ class ParallelExecutor:
                 pool.terminate()
                 pool.join()
 
+    def _note_payload_stats(self, payload: dict) -> None:
+        pid = payload["pid"]
+        if payload.get("store") is not None:
+            _note_worker_stats(self._worker_stats, pid, payload["store"])
+        if payload.get("sat") is not None:
+            _note_worker_stats(self._sat_worker_stats, pid, payload["sat"])
+        if payload.get("bdd") is not None:
+            _note_worker_stats(self._bdd_worker_stats, pid, payload["bdd"])
+
     def compile_stats(self) -> Dict[str, int]:
         """Aggregated per-worker store counters from the last ``map``
         (each worker ships its latest snapshot with every result);
         ``{}`` when the store is off."""
         if self._fallback is not None:
             return self._fallback.compile_stats()
-        if not self._worker_stats:
-            return {}
-        merged = CompiledProblemStore.merge_stats(
-            *self._worker_stats.values()
-        )
-        merged["workers"] = len(self._worker_stats)
-        return merged
+        return _merge_worker_stats(self._worker_stats)
+
+    def sat_stats(self) -> Dict[str, int]:
+        """Aggregated per-worker SAT-workspace counters from the last
+        ``map``; ``{}`` when sharing is off."""
+        if self._fallback is not None:
+            return self._fallback.sat_stats()
+        return _merge_worker_stats(self._sat_worker_stats)
+
+    def workspace_stats(self) -> Dict[str, int]:
+        """Aggregated per-worker BDD-workspace counters from the last
+        ``map``; ``{}`` when sharing is off."""
+        if self._fallback is not None:
+            return self._fallback.workspace_stats()
+        return _merge_worker_stats(self._bdd_worker_stats)
 
 
 def _pool_context():
@@ -339,7 +440,9 @@ def _pool_context():
 def _steal_worker(job_queue, result_queue, share_bdd: bool = False,
                   workspace_options: Optional[dict] = None,
                   compile_store: bool = True,
-                  store_options: Optional[dict] = None) -> None:
+                  store_options: Optional[dict] = None,
+                  share_sat: bool = False,
+                  sat_options: Optional[dict] = None) -> None:
     """Worker loop: pull one work unit at a time until the ``None``
     pill.  A unit is a list of jobs — one job under FIFO scheduling,
     one module's whole job group under module-affinity scheduling (see
@@ -373,6 +476,7 @@ def _steal_worker(job_queue, result_queue, share_bdd: bool = False,
     store = _build_store(compile_store, store_options)
     workspace = BddWorkspace(**(workspace_options or {})) \
         if share_bdd else None
+    sat = _build_sat(share_sat, sat_options)
     while True:
         unit = job_queue.get()
         if unit is None:
@@ -389,10 +493,14 @@ def _steal_worker(job_queue, result_queue, share_bdd: bool = False,
             try:
                 payload = {
                     "result": encode_job_result(
-                        run_check_job(job, store, workspace=workspace)
+                        run_check_job(job, store, workspace=workspace,
+                                      sat_workspace=sat)
                     ),
                     "pid": os.getpid(),
                     "store": store.stats() if store is not None else None,
+                    "sat": sat.stats() if sat is not None else None,
+                    "bdd": workspace.stats()
+                    if workspace is not None else None,
                 }
             except BaseException as exc:  # ship the failure, keep going
                 payload = exc
@@ -451,7 +559,9 @@ class WorkStealingExecutor:
                  workspace_options: Optional[dict] = None,
                  scheduling=None,
                  compile_store: bool = True,
-                 store_options: Optional[dict] = None) -> None:
+                 store_options: Optional[dict] = None,
+                 share_sat: bool = False,
+                 sat_options: Optional[dict] = None) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if poll_interval <= 0:
@@ -464,6 +574,8 @@ class WorkStealingExecutor:
         self.workspace_options = workspace_options
         self.compile_store = compile_store
         self.store_options = store_options
+        self.share_sat = share_sat
+        self.sat_options = sat_options
         if scheduling is None:
             from .policy import FifoScheduling
             scheduling = FifoScheduling()
@@ -471,6 +583,8 @@ class WorkStealingExecutor:
         self._fell_back = False
         self._fallback: Optional[SerialExecutor] = None
         self._worker_stats: Dict[int, dict] = {}
+        self._sat_worker_stats: Dict[int, dict] = {}
+        self._bdd_worker_stats: Dict[int, dict] = {}
 
     @property
     def name(self) -> str:
@@ -493,12 +607,16 @@ class WorkStealingExecutor:
                 workspace_options=self.workspace_options,
                 compile_store=self.compile_store,
                 store_options=self.store_options,
+                share_sat=self.share_sat,
+                sat_options=self.sat_options,
             )
             yield from self._fallback.map(jobs)
             return
         self._fell_back = False
         self._fallback = None
         self._worker_stats = {}
+        self._sat_worker_stats = {}
+        self._bdd_worker_stats = {}
         decode_store = _build_store(self.compile_store,
                                     self.store_options)
         units = self.scheduling.batches(jobs)
@@ -522,7 +640,9 @@ class WorkStealingExecutor:
                                   self.share_bdd,
                                   self.workspace_options,
                                   self.compile_store,
-                                  self.store_options),
+                                  self.store_options,
+                                  self.share_sat,
+                                  self.sat_options),
                             daemon=True)
             for _ in range(worker_count)
         ]
@@ -543,9 +663,7 @@ class WorkStealingExecutor:
                 payload = buffered.pop(job.index)
                 if isinstance(payload, BaseException):
                     raise payload
-                if payload.get("store") is not None:
-                    _note_worker_stats(self._worker_stats,
-                                       payload["pid"], payload["store"])
+                self._note_payload_stats(payload)
                 yield decode_job_result(payload["result"], job,
                                         decode_store)
         finally:
@@ -561,19 +679,36 @@ class WorkStealingExecutor:
                 q.cancel_join_thread()
                 q.close()
 
+    def _note_payload_stats(self, payload: dict) -> None:
+        pid = payload["pid"]
+        if payload.get("store") is not None:
+            _note_worker_stats(self._worker_stats, pid, payload["store"])
+        if payload.get("sat") is not None:
+            _note_worker_stats(self._sat_worker_stats, pid, payload["sat"])
+        if payload.get("bdd") is not None:
+            _note_worker_stats(self._bdd_worker_stats, pid, payload["bdd"])
+
     def compile_stats(self) -> Dict[str, int]:
         """Aggregated per-worker store counters from the last ``map``
         (each worker ships its latest snapshot with every result);
         ``{}`` when the store is off."""
         if self._fallback is not None:
             return self._fallback.compile_stats()
-        if not self._worker_stats:
-            return {}
-        merged = CompiledProblemStore.merge_stats(
-            *self._worker_stats.values()
-        )
-        merged["workers"] = len(self._worker_stats)
-        return merged
+        return _merge_worker_stats(self._worker_stats)
+
+    def sat_stats(self) -> Dict[str, int]:
+        """Aggregated per-worker SAT-workspace counters from the last
+        ``map``; ``{}`` when sharing is off."""
+        if self._fallback is not None:
+            return self._fallback.sat_stats()
+        return _merge_worker_stats(self._sat_worker_stats)
+
+    def workspace_stats(self) -> Dict[str, int]:
+        """Aggregated per-worker BDD-workspace counters from the last
+        ``map``; ``{}`` when sharing is off."""
+        if self._fallback is not None:
+            return self._fallback.workspace_stats()
+        return _merge_worker_stats(self._bdd_worker_stats)
 
     def _next_payload(self, result_queue, workers: List) -> tuple:
         """Block for the next (index, payload) pair, watching for a

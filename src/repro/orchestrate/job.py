@@ -48,6 +48,7 @@ from ..formal.engine import (
     CheckResult, EngineOptions, FAIL, PASS, TIMEOUT, UNKNOWN, ModelChecker,
 )
 from ..formal.problems import CompiledProblemStore, content_digest
+from ..formal.satspace import SatWorkspace
 from ..formal.trace import Trace
 from ..formal.workspace import BddWorkspace
 from ..psl.ast import VUnit
@@ -97,7 +98,7 @@ class EngineConfig:
     #: config — ``options()`` raises AttributeError otherwise, so a
     #: knob added to EngineOptions without its config counterpart
     #: fails loudly instead of silently defaulting.
-    RUNTIME_OPTION_FIELDS = frozenset({"workspace"})
+    RUNTIME_OPTION_FIELDS = frozenset({"workspace", "sat_workspace"})
 
     def options(self) -> EngineOptions:
         """The :class:`EngineOptions` slice of this config — derived
@@ -306,7 +307,8 @@ def compile_job(job: CheckJob,
 
 def run_check_job(job: CheckJob,
                   store: Optional[CompiledProblemStore] = None,
-                  workspace: Optional[BddWorkspace] = None
+                  workspace: Optional[BddWorkspace] = None,
+                  sat_workspace: Optional[SatWorkspace] = None
                   ) -> JobResult:
     """Execute one check job: compile (through ``store`` when given —
     see :func:`compile_job`), then try each portfolio stage in order
@@ -333,6 +335,18 @@ def run_check_job(job: CheckJob,
     check whose node budget would trip cold, never the reverse
     (see :mod:`repro.orchestrate`).
 
+    ``sat_workspace`` is the SAT-family counterpart: the job binds its
+    assertion into the shared workspace
+    (:class:`~repro.formal.satspace.SatBinding`), sessions are
+    materialised lazily only when a SAT-family stage actually runs (a
+    BDD-only portfolio compiles no cluster), and the binding is retired
+    — the assertion's activation literal permanently deactivated — when
+    the job finishes, whatever the outcome.  Verdicts, depths, and
+    counterexample bytes are workspace-invariant; note that unlike the
+    BDD workspace's one-sided guarantee, a binding *conflict* budget can
+    trip warm where it wouldn't cold (and vice versa) — campaign
+    defaults keep it non-binding.
+
     ``job.engine_order`` (set by a portfolio policy) permutes the
     *attempt* order only.  A definitive PASS/FAIL verdict is
     stage-order-invariant (every engine is sound); when no stage is
@@ -355,25 +369,41 @@ def run_check_job(job: CheckJob,
     ts = compile_job(job, store)
     binding = workspace.bind(job.workspace_key) \
         if workspace is not None else None
+    sat_binding = sat_workspace.bind(
+        job.module, job.vunit, job.assert_name,
+        module_digest=job.module_digest, vunit_digest=job.vunit_digest,
+        store=store,
+    ) if sat_workspace is not None else None
     attempts = []
     result = None
     fallback_position = -1
-    for position in order:
-        config = job.engines[position]
-        options = config.options()
-        if binding is not None:
-            options = replace(options, workspace=binding)
-        checker = ModelChecker(ts, budget=config.make_budget())
-        stage = checker.check(method=config.method, options=options)
-        attempts.append({"engine": config.method, "status": stage.status,
-                         "seconds": stage.seconds})
-        if stage.status in (PASS, FAIL):
-            result = stage
-            break
-        # no stage definitive: report the stage that is last in the
-        # *configured* order, exactly as a static-order run would
-        if position > fallback_position:
-            result, fallback_position = stage, position
+    try:
+        for position in order:
+            config = job.engines[position]
+            options = config.options()
+            if binding is not None:
+                options = replace(options, workspace=binding)
+            if sat_binding is not None:
+                options = replace(options, sat_workspace=sat_binding)
+            checker = ModelChecker(ts, budget=config.make_budget())
+            stage = checker.check(method=config.method, options=options)
+            attempt = {"engine": config.method, "status": stage.status,
+                       "seconds": stage.seconds}
+            sat_stats = stage.stats.get("sat")
+            if isinstance(sat_stats, dict):
+                attempt["conflicts"] = sat_stats.get("conflicts", 0)
+                attempt["propagations"] = sat_stats.get("propagations", 0)
+            attempts.append(attempt)
+            if stage.status in (PASS, FAIL):
+                result = stage
+                break
+            # no stage definitive: report the stage that is last in the
+            # *configured* order, exactly as a static-order run would
+            if position > fallback_position:
+                result, fallback_position = stage, position
+    finally:
+        if sat_binding is not None:
+            sat_binding.retire()
     # the attempt log and the all-stages cost are recorded uniformly —
     # a single-stage portfolio keeps the same provenance a ladder does
     result.stats["portfolio"] = attempts

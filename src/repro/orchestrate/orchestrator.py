@@ -263,6 +263,8 @@ class CampaignOrchestrator:
         report.seconds = time.perf_counter() - started
         scheduling = getattr(self.executor, "scheduling", None)
         compile_stats_fn = getattr(self.executor, "compile_stats", None)
+        sat_stats_fn = getattr(self.executor, "sat_stats", None)
+        bdd_stats_fn = getattr(self.executor, "workspace_stats", None)
         report.stats = {
             "executor": self.executor.name,
             "engines": [config.method for config in self.engines],
@@ -283,6 +285,11 @@ class CampaignOrchestrator:
                 "replay": self._replay_store.stats()
                 if self._replay_store is not None else {},
             },
+            # warm-state workspace counters aggregated over the
+            # executor's workers (empty dict = sharing off or executor
+            # without the hook)
+            "sat_workspace": sat_stats_fn() if sat_stats_fn else {},
+            "bdd_workspace": bdd_stats_fn() if bdd_stats_fn else {},
             "jobs": plan.total_jobs,
             "cache_hits": len(cached_results),
             "cache_misses": len(to_run) if self.cache is not None else 0,

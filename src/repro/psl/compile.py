@@ -21,7 +21,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from ..formal.problems import note_compilation, note_elaboration
-from ..formal.transition import TransitionSystem
+from ..formal.transition import ClusterSystem, TransitionSystem
 from ..rtl.elaborate import FlatDesign, elaborate
 from ..rtl.module import Module
 from ..rtl.netlist import bitblast
@@ -191,6 +191,59 @@ def compile_assertion(module: Module, vunit: VUnit, assert_name: str,
     del design.outputs[BAD_OUTPUT]
     del design.outputs[CONSTRAINT_OUTPUT]
     return ts
+
+
+def compile_cluster(module: Module, vunit: VUnit,
+                    assert_names: Optional[List[str]] = None,
+                    design: Optional[FlatDesign] = None) -> ClusterSystem:
+    """Compile several assertions of one vunit into a single shared-AIG
+    multi-bad problem (the paper's property clustering).
+
+    All named assertions (default: every asserted property, in directive
+    order) get their own 1-bit ``bad`` output; the vunit's assumptions
+    conjoin into one shared constraint; one bit-blast produces one AIG
+    serving every member.  The returned
+    :class:`~repro.formal.transition.ClusterSystem` exposes a union-cone
+    *spine* for shared unrolling plus per-assertion COI-reduced views
+    that match each member's solo compilation up to AIG literal
+    numbering.
+    """
+    if design is None:
+        note_elaboration()
+        design = elaborate(module)
+    note_compilation()
+    compiler = PropertyCompiler(design)
+
+    if assert_names is None:
+        assert_names = [name for name, _ in vunit.asserted()]
+    bad_outputs: Dict[str, str] = {}
+    for index, assert_name in enumerate(assert_names):
+        prop = vunit.property_named(assert_name)
+        if prop is None:
+            raise PslError(f"vunit {vunit.name!r} has no property "
+                           f"{assert_name!r}")
+        if (("assert", assert_name)) not in vunit.directives:
+            raise PslError(f"property {assert_name!r} is not asserted in "
+                           f"vunit {vunit.name!r}")
+        output = f"{BAD_OUTPUT}{index}"
+        design.outputs[output] = compiler.violation(prop)
+        bad_outputs[assert_name] = output
+
+    constraint: Expr = Const(1, 1)
+    for _, assumed in vunit.assumed():
+        constraint = constraint & compiler.holds(assumed)
+    design.outputs[CONSTRAINT_OUTPUT] = constraint
+
+    blaster = bitblast(design)
+    cluster = ClusterSystem.from_blaster(
+        blaster, bad_outputs, CONSTRAINT_OUTPUT,
+        name=f"{vunit.name}[{len(assert_names)}]",
+    )
+    # leave the design reusable for the next compilation
+    for output in bad_outputs.values():
+        del design.outputs[output]
+    del design.outputs[CONSTRAINT_OUTPUT]
+    return cluster
 
 
 def compile_vunit(module: Module, vunit: VUnit,

@@ -52,6 +52,18 @@ EXECUTORS = [
     pytest.param(lambda: ParallelExecutor(
         processes=2, compile_store=False),
         id="parallel-nostore"),
+    # SAT-workspace variants: shared incremental solver sessions on,
+    # clustering disabled, and LRU-thrashed to one live session — warm
+    # solver state must never move a verdict or reorder the stream
+    pytest.param(lambda: WorkStealingExecutor(
+        processes=2, share_sat=True),
+        id="work-stealing-satspace"),
+    pytest.param(lambda: ParallelExecutor(
+        processes=2, share_sat=True, sat_options={"cluster_limit": 1}),
+        id="parallel-satspace-cluster1"),
+    pytest.param(lambda: SerialExecutor(
+        share_sat=True, sat_options={"max_sessions": 1}),
+        id="serial-satspace-thrash"),
 ]
 
 parametrized = pytest.mark.parametrize("make_executor", EXECUTORS)

@@ -154,3 +154,99 @@ class TestStructuredInstances:
         assert s.solve() is True
         model_parity = sum(s.value_of(2 * x) for x in xs) % 2
         assert model_parity == 1
+
+
+class TestIncrementalFuzz:
+    """Randomized incremental workloads — the access pattern shared SAT
+    sessions lean on: interleaved ``add_clause``/``solve`` with
+    assumptions, verdicts *and* models checked against brute force at
+    every step, up to 12 variables."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_interleaved_adds_and_solves(self, seed):
+        rng = random.Random(seed * 101 + 7)
+        for _ in range(12):
+            n = rng.randint(2, 12)
+            solver = Solver()
+            for _ in range(n):
+                solver.new_var()
+            clauses, ok = [], True
+            for _round in range(rng.randint(2, 6)):
+                for _ in range(rng.randint(1, 8)):
+                    clause = [rng.randrange(2 * n)
+                              for _ in range(rng.randint(1, 4))]
+                    clauses.append(clause)
+                    if not solver.add_clause(clause):
+                        ok = False
+                assumptions = [rng.randrange(2 * n)
+                               for _ in range(rng.randint(0, 3))]
+                got = solver.solve(assumptions) if ok else False
+                want = brute_force(
+                    n, clauses + [[lit] for lit in assumptions]
+                ) if ok else False
+                assert got == want, (n, clauses, assumptions)
+                if got:
+                    # the model must satisfy every clause AND every
+                    # assumption, not just report the right verdict
+                    for clause in clauses:
+                        assert any(solver.value_of(lit)
+                                   for lit in clause)
+                    for lit in assumptions:
+                        assert solver.value_of(lit) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_learned_clauses_never_change_verdicts(self, seed):
+        """Solving the same instance repeatedly (the learned DB grows
+        between calls) must keep agreeing with a fresh solver."""
+        rng = random.Random(seed * 13 + 5)
+        for _ in range(10):
+            n, clauses = random_instance(rng, max_vars=10,
+                                         max_clauses=45)
+            solver, first = solve_instance(n, clauses)
+            want = brute_force(n, clauses)
+            assert first == want
+            for _ in range(3):
+                assert solver.solve() == want
+
+
+class TestWarmStateApi:
+    def test_rearm_swaps_budget(self):
+        """A session-style solver: exhaust a tiny budget, ``rearm``
+        with a generous one, and the same instance completes."""
+        pigeons, holes = 6, 5
+        solver = Solver(ResourceBudget(sat_conflicts=3))
+        var = [[solver.new_var() for _ in range(holes)]
+               for _ in range(pigeons)]
+        for p in range(pigeons):
+            solver.add_clause([2 * var[p][h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([2 * var[p1][h] + 1,
+                                       2 * var[p2][h] + 1])
+        with pytest.raises(BudgetExceeded):
+            solver.solve()
+        solver.rearm(ResourceBudget(sat_conflicts=500_000))
+        assert solver.solve() is False
+
+    def test_stats_snapshot_and_delta(self):
+        from repro.formal.sat import stats_delta
+        solver = Solver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([2 * a, 2 * b])
+        before = solver.stats_snapshot()
+        assert solver.solve([2 * a + 1]) is True
+        after = solver.stats_snapshot()
+        delta = stats_delta(before, after)
+        for key in ("conflicts", "decisions", "propagations",
+                    "restarts", "learned"):
+            assert key in delta and delta[key] >= 0
+        # learned_db is a gauge, not a counter: carried absolute
+        assert delta["learned_db"] == after["learned_db"]
+
+    def test_num_clauses_counts_stored_and_learned(self):
+        solver = Solver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([2 * a, 2 * b])  # stored
+        solver.add_clause([2 * a])         # unit: assigned, not stored
+        assert solver.num_clauses() == 1
