@@ -25,7 +25,13 @@ Runs the same chip campaign several ways —
    frames, learned-clause retention under activation literals),
    comparing wall time and the deterministic conflict/propagation
    totals summed over every portfolio attempt,
-9. a compile-store probe on the fixed block-C scope: the
+9. a scenario-sweep probe: the fixed tiny generated chip family
+   crossed with all four defect classes (``repro.scenario``), run
+   under the serial and the work-stealing executor — recording the
+   detection rate, the surviving-mutant list (must be empty), and
+   the per-engine time-to-FAIL buckets, with outcome-identical
+   canonical records across the executors,
+10. a compile-store probe on the fixed block-C scope: the
    content-addressed ``CompiledProblemStore`` on vs off, measured two
    ways — serial runs diffing the process-wide
    ``elaborations_total()`` / ``compilations_total()`` counters (the
@@ -458,6 +464,77 @@ def _bench_sat_workspace():
     }
 
 
+def _bench_scenario(workers):
+    """Scenario-sweep probe: the fixed tiny generated family crossed
+    with every defect class, swept once serially and once on the
+    work-stealing pool.
+
+    The scope is fixed (1 block x 2 modules, datapath width 4, all
+    four defect classes — the mutation-kill matrix grid from
+    ``tests/test_mutation_matrix.py``) so detection rate and
+    time-to-FAIL trajectories are comparable across runs.  The two
+    executors must produce identical canonical records — identical
+    except for ``config_digest``, which honestly differs because the
+    executor spec is itself a config field.
+    """
+    from repro.scenario import FamilySpec, run_sweep
+
+    spec = FamilySpec(blocks=1, modules_per_block=2, datapath_width=4,
+                      pipeline_depth=1, error_report_width=2)
+    limits = dict(sat_conflicts=1_000_000, bdd_nodes=10_000_000)
+
+    def outcome(record):
+        # canonical bytes minus the executor-dependent config digest
+        from repro.scenario import canonical_record_bytes
+        stripped = {key: value for key, value in record.items()
+                    if key != "config_digest"}
+        return canonical_record_bytes(stripped)
+
+    started = time.perf_counter()
+    serial_record, _ = run_sweep(
+        spec, config=CampaignConfig(executor="serial", **limits))
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    stealing_record, _ = run_sweep(
+        spec, config=CampaignConfig(executor=f"workstealing:{workers}",
+                                    **limits))
+    stealing_s = time.perf_counter() - started
+
+    identical = outcome(serial_record) == outcome(stealing_record)
+    detection = serial_record["detection"]
+    engines = serial_record["timing"]["engines"]
+    print(f"  sweep serial:       {serial_s:7.2f}s "
+          f"({detection['total']} mutants, "
+          f"{detection['detected']} detected, "
+          f"rate {detection['rate']:.3f})")
+    print(f"  sweep work-steal:   {stealing_s:7.2f}s")
+    for engine, bucket in sorted(engines.items()):
+        print(f"    time-to-FAIL {engine}: {bucket['fails']} fails "
+              f"in {bucket['seconds']:.2f}s")
+    if detection["survivors"]:
+        print(f"  WARNING: surviving mutants! {detection['survivors']}")
+    if not identical:
+        print("  WARNING: sweep records diverged across executors!")
+    ok = (identical and not detection["survivors"]
+          and detection["rate"] == 1.0)
+    return {
+        "scope": f"family {spec.digest()[:12]} "
+                 f"({spec.blocks}x{spec.modules_per_block}, "
+                 f"width {spec.datapath_width})",
+        "schema": serial_record["schema"],
+        "host": _host_topology(workers),
+        "mutants": detection["total"],
+        "detection_rate": detection["rate"],
+        "survivors": detection["survivors"],
+        "seconds": {"serial": round(serial_s, 3),
+                    "work_stealing": round(stealing_s, 3)},
+        "time_to_fail_per_engine": engines,
+        "outcomes_identical": identical,
+        "ok": ok,
+    }
+
+
 def _truncate_journal(path, keep_fraction):
     """Keep the header plus the first ``keep_fraction`` of the entries —
     the on-disk state of a campaign killed partway through."""
@@ -565,6 +642,8 @@ def main():
     adaptive_record = _bench_adaptive()
     compile_record = _bench_compile_store(workers)
     sat_record = _bench_sat_workspace()
+    print("scenario-sweep probe (serial vs work-stealing)")
+    scenario_record = _bench_scenario(workers)
 
     reports = {
         "serial": serial_report, "parallel": parallel_report,
@@ -625,6 +704,7 @@ def main():
         "adaptive_portfolio": adaptive_record,
         "compile_store": compile_record,
         "sat_workspace": sat_record,
+        "scenario_sweep": scenario_record,
     }
     OUT_PATH.parent.mkdir(exist_ok=True)
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
@@ -633,7 +713,8 @@ def main():
                      and workspace_record["outcomes_identical"]
                      and adaptive_record["outcomes_identical"]
                      and compile_record["outcomes_identical"]
-                     and sat_record["outcomes_identical"])
+                     and sat_record["outcomes_identical"]
+                     and scenario_record["ok"])
     return 0 if all_identical else 1
 
 

@@ -17,7 +17,10 @@ from .spec import (
     TOTAL_PROPERTIES, TOTAL_SUBMODULES, block_a_generics, block_b_configs,
     block_c_generics, block_e_generics, config_counts,
 )
-from .defects import ALL_DEFECT_IDS, DEFECTS, DEFECTS_BY_ID, defects_in_blocks
+from .defects import (
+    ALL_DEFECT_IDS, DEFECT_CLASSES, DEFECTS, DEFECTS_BY_ID, DefectSite,
+    defects_in_blocks,
+)
 from .blocks import (
     BLOCK_BUILDERS, build_block_a, build_block_b, build_block_c,
     build_block_d, build_block_e, build_blocks,
@@ -38,7 +41,8 @@ __all__ = [
     "TOTAL_PROPERTIES", "TOTAL_SUBMODULES", "block_a_generics",
     "block_b_configs", "block_c_generics", "block_e_generics",
     "config_counts",
-    "ALL_DEFECT_IDS", "DEFECTS", "DEFECTS_BY_ID", "defects_in_blocks",
+    "ALL_DEFECT_IDS", "DEFECT_CLASSES", "DEFECTS", "DEFECTS_BY_ID",
+    "DefectSite", "defects_in_blocks",
     "BLOCK_BUILDERS", "build_block_a", "build_block_b", "build_block_c",
     "build_block_d", "build_block_e", "build_blocks",
     "ChipStats", "ComponentChip",

@@ -1,14 +1,103 @@
-"""The seven seeded logic bugs (paper Table 3).
+"""The seven seeded logic bugs (paper Table 3) and the defect-site
+identifier scheme of the scenario sweeps.
 
 ``DEFECTS`` is the ground-truth catalogue; the benches derive the
 measured Table 3 from campaign runs and compare against it.
+
+:class:`DefectSite` is the *stable identifier* of one seedable defect:
+a defect class plus a location (entity, output, or report-signal name)
+inside a named module.  Sweep records key their per-mutant rows by
+``site_id`` strings (``class@module:location``) rather than positional
+indices, so detection-rate records stay comparable across family sizes
+— adding a module or an entity never renumbers everyone else's rows.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from ..core.bugs import Defect
+
+#: The defect classes the scenario mutation engine can seed
+#: (:mod:`repro.scenario.mutate` owns the transforms; the names live
+#: here so identifier parsing needs no upward import).  Each class maps
+#: to the stereotype property that catches it:
+#:
+#: - ``stuck-parity`` — the stored parity bit of a protected entity is
+#:   stuck at 1 on every update (a stuck-at on the parity flop's data
+#:   input; stuck-at-1 is the variant that is wrong for *every* entity
+#:   style — a one-hot machine's data always has odd population count,
+#:   so its correct parity bit is constantly 0 and a stuck-at-0 there
+#:   would be an equivalent mutant); caught by P1 (HE fires under
+#:   clean traffic);
+#: - ``wrong-rotate`` — an output word's data rotation is implemented
+#:   as a shift (the wrapped-around bit is dropped, a 0 shifted in), so
+#:   the bit multiset changes while the stored parity travels along;
+#:   caught by P2;
+#: - ``swapped-operand`` — an output's parity bit is recomputed over
+#:   the wrong operand (the first protected input's data word instead
+#:   of the output's own data); caught by P2;
+#: - ``dropped-error-flag`` — one hardware-error report output is tied
+#:   silent, so injected errors go unreported; caught by P0 and, by
+#:   construction, invisible to clean-traffic simulation.
+STUCK_PARITY = "stuck-parity"
+WRONG_ROTATE = "wrong-rotate"
+SWAPPED_OPERAND = "swapped-operand"
+DROPPED_ERROR_FLAG = "dropped-error-flag"
+
+DEFECT_CLASSES = (
+    STUCK_PARITY, WRONG_ROTATE, SWAPPED_OPERAND, DROPPED_ERROR_FLAG,
+)
+
+
+@dataclass(frozen=True)
+class DefectSite:
+    """Stable identifier of one seedable defect: class + location.
+
+    ``location`` names the structural element the class applies to —
+    a protected entity (``stuck-parity``), a protected output group
+    (``wrong-rotate`` / ``swapped-operand``), or an HE report signal
+    (``dropped-error-flag``).  The rendered ``site_id`` is the key of
+    every sweep-record row and of the mutant's campaign block.
+    """
+
+    defect_class: str
+    module_name: str
+    location: str
+
+    def __post_init__(self) -> None:
+        if self.defect_class not in DEFECT_CLASSES:
+            raise ValueError(
+                f"unknown defect class {self.defect_class!r}; "
+                f"expected one of {DEFECT_CLASSES}"
+            )
+        for field_name in ("module_name", "location"):
+            value = getattr(self, field_name)
+            if not value or any(ch in value for ch in "@:"):
+                raise ValueError(
+                    f"defect-site {field_name} {value!r} must be "
+                    f"non-empty and free of '@' and ':'"
+                )
+
+    @property
+    def site_id(self) -> str:
+        """``class@module:location`` — the stable record key."""
+        return f"{self.defect_class}@{self.module_name}:{self.location}"
+
+    @classmethod
+    def parse(cls, site_id: str) -> "DefectSite":
+        """Inverse of :attr:`site_id` (raises ``ValueError`` on
+        malformed text, so records can be validated on the way in)."""
+        defect_class, sep, rest = site_id.partition("@")
+        module_name, sep2, location = rest.partition(":")
+        if not sep or not sep2:
+            raise ValueError(
+                f"malformed site id {site_id!r}; "
+                f"expected class@module:location"
+            )
+        return cls(defect_class, module_name, location)
+
 
 ALL_DEFECT_IDS: FrozenSet[str] = frozenset(
     {"B0", "B1", "B2", "B3", "B4", "B5", "B6"}
@@ -89,9 +178,16 @@ DEFECTS: List[Defect] = [
 DEFECTS_BY_ID: Dict[str, Defect] = {d.defect_id: d for d in DEFECTS}
 
 
-def defects_in_blocks() -> Dict[str, int]:
-    """Bug count per block — the '# of Bug' column of Table 2."""
+def defects_in_blocks(defects: Optional[Iterable[Defect]] = None
+                      ) -> Dict[str, int]:
+    """Bug count per block — the '# of Bug' column of Table 2.
+
+    ``defects`` defaults to the paper's fixed catalogue; sweeps over
+    generated families pass their own seeded list, so the per-block
+    accounting works off defect records instead of positions in a
+    hard-coded table.
+    """
     counts: Dict[str, int] = {}
-    for defect in DEFECTS:
+    for defect in (DEFECTS if defects is None else defects):
         counts[defect.block] = counts.get(defect.block, 0) + 1
     return counts

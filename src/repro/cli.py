@@ -5,6 +5,7 @@ One TOML file reproduces one campaign::
     python -m repro campaign run    --config campaign.toml
     python -m repro campaign resume --config campaign.toml
     python -m repro campaign report --config campaign.toml
+    python -m repro scenario sweep  --config scenario.toml
 
 - ``run`` executes the configured campaign over the component chip
   (``[campaign] blocks`` selects the block subset) and prints the
@@ -16,7 +17,12 @@ One TOML file reproduces one campaign::
   byte-identical to an uninterrupted run;
 - ``report`` is read-only: it re-derives the plan, inspects the
   journal and the result cache, and prints how much of the campaign is
-  already settled — without running a single engine or writing a byte.
+  already settled — without running a single engine or writing a byte;
+- ``scenario sweep`` runs a defect-seeding mutation campaign over a
+  *generated* chip family (the config's ``[scenario]`` section; see
+  ``docs/scenarios.md``) and prints the versioned detection-rate
+  record.  Exit 0 means zero surviving mutants (and sim->formal
+  agreement in triage mode), 1 otherwise.
 
 Every command takes ``--stats`` to additionally print the warm-state
 counter blocks — compile-store hit/miss/evict, SAT-workspace session
@@ -69,6 +75,25 @@ def _build_parser() -> argparse.ArgumentParser:
         if action in ("run", "resume"):
             sub.add_argument("--progress", action="store_true",
                              help="print one line per checked property")
+    scenario = commands.add_parser(
+        "scenario", help="generated-chip-family mutation sweeps"
+    )
+    scenario_actions = scenario.add_subparsers(dest="action",
+                                               required=True)
+    sweep = scenario_actions.add_parser(
+        "sweep",
+        help="seed defects into a generated family and measure the "
+             "stereotype properties' detection rate",
+    )
+    sweep.add_argument("--config", required=True, metavar="TOML",
+                       help="campaign config with an optional "
+                            "[scenario] section "
+                            "(see docs/scenarios.md)")
+    sweep.add_argument("--record", metavar="JSON",
+                       help="also write the full sweep record (with "
+                            "timing) to this file")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print one line per checked property")
     return parser
 
 
@@ -187,6 +212,63 @@ def _report(config: CampaignConfig, show_stats: bool = False) -> int:
     return 0
 
 
+def _sweep(config: CampaignConfig, record_path: Optional[str],
+           progress: bool) -> int:
+    """Run the configured mutation sweep and print its record summary.
+
+    The exit code gates CI on the methodology's quality bar: 0 when
+    every seeded mutant was detected *and* (in triage mode) every sim
+    FAIL was confirmed formally, 1 otherwise.
+    """
+    import json
+
+    from .scenario import canonical_record_bytes, record_digest, \
+        sweep_from_config
+
+    try:
+        record, _report_obj = sweep_from_config(
+            config, progress=print if progress else None
+        )
+    except ValueError as exc:
+        # covers ConfigError plus the scenario layer's own validation
+        # (bad family shape, unknown defect class)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    detection = record["detection"]
+    print(f"family:         {record['family']['name']} "
+          f"(digest {record['family_digest'][:12]})")
+    print(f"defect classes: {', '.join(record['defect_classes'])}")
+    print(f"mutants:        {detection['total']} seeded, "
+          f"{detection['detected']} detected "
+          f"(rate {detection['rate']:.3f})")
+    if detection["survivors"]:
+        print("survivors:")
+        for site_id in detection["survivors"]:
+            print(f"  {site_id}")
+    triage = record["triage"]
+    agreed = True
+    if triage is not None:
+        agreed = triage["formal_confirms_sim"]
+        replayed = sum(1 for name in triage["replayed"].values()
+                       if name is not None)
+        print(f"triage:         {len(triage['screened'])} sim-screened "
+              f"over {triage['sim_cycles']} cycles, "
+              f"{replayed} counterexamples replayed formally, "
+              f"sim->formal agreement "
+              f"{'holds' if agreed else 'VIOLATED'}")
+        for site_id in triage["disagreements"]:
+            print(f"  disagreement: {site_id}")
+    print(f"record digest:  {record_digest(record)} "
+          f"({len(canonical_record_bytes(record))} canonical bytes)")
+    print(f"config digest:  {record['config_digest']}")
+    if record_path is not None:
+        with open(record_path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"record written: {record_path}")
+    return 0 if not detection["survivors"] and agreed else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -194,6 +276,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.command == "scenario":
+        return _sweep(config, record_path=args.record,
+                      progress=args.progress)
     if args.action == "report":
         return _report(config, show_stats=args.stats)
     return _run(config, resume=args.action == "resume",

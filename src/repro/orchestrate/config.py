@@ -213,6 +213,18 @@ CONFIG_SCHEMA: Dict[str, Dict[str, str]] = {
         "max_designs": "compile_max_designs",
         "max_problems": "compile_max_problems",
     },
+    "scenario": {
+        "seed": "scenario_seed",
+        "blocks": "scenario_blocks",
+        "modules_per_block": "scenario_modules_per_block",
+        "datapath_width": "scenario_datapath_width",
+        "pipeline_depth": "scenario_pipeline_depth",
+        "error_report_width": "scenario_error_report_width",
+        "classes": "scenario_classes",
+        "sites_per_module": "scenario_sites_per_module",
+        "triage": "scenario_triage",
+        "sim_cycles": "scenario_sim_cycles",
+    },
     "cache": {
         "path": "cache_path",
         "max_entries": "cache_max_entries",
@@ -301,6 +313,35 @@ class CampaignConfig:
     compile_max_designs: Optional[int] = 8
     #: compile-store valve: retained compiled problems (``None`` = all)
     compile_max_problems: Optional[int] = 64
+
+    #: ``[scenario]`` — the chip-family / mutation-sweep knobs consumed
+    #: by ``python -m repro scenario sweep`` and
+    #: :func:`repro.scenario.sweep.sweep_from_config`.  All default to
+    #: ``None`` ("absent": the scenario layer supplies its own
+    #: defaults), so configs written before the section existed keep
+    #: their digests.  The config layer validates only shape — defect
+    #: *class names* are the scenario layer's vocabulary (this module
+    #: never imports the chip layer)
+    #: family RNG seed
+    scenario_seed: Optional[int] = None
+    #: generated blocks per family
+    scenario_blocks: Optional[int] = None
+    #: modules per generated block (one wide module + generic leaves)
+    scenario_modules_per_block: Optional[int] = None
+    #: datapath bits per wide-module pipeline stage
+    scenario_datapath_width: Optional[int] = None
+    #: wide-module pipeline depth
+    scenario_pipeline_depth: Optional[int] = None
+    #: HE report outputs cap for generated generic leaves
+    scenario_error_report_width: Optional[int] = None
+    #: defect classes to seed (``None`` = all)
+    scenario_classes: Optional[Tuple[str, ...]] = None
+    #: per-module cap on seeded defect sites (``None`` = every site)
+    scenario_sites_per_module: Optional[int] = None
+    #: run the sim-then-formal triage mode
+    scenario_triage: Optional[bool] = None
+    #: random-simulation budget per mutant in triage mode
+    scenario_sim_cycles: Optional[int] = None
 
     #: result-cache path (``None`` = no cache)
     cache_path: Optional[str] = None
@@ -398,6 +439,44 @@ class CampaignConfig:
                     f"{name} must be a path string or absent, "
                     f"got {value!r}"
                 )
+        if self.scenario_seed is not None and (
+                not _is_int(self.scenario_seed) or self.scenario_seed < 0):
+            raise ConfigError(
+                f"scenario_seed must be a non-negative integer or "
+                f"absent, got {self.scenario_seed!r}"
+            )
+        for name in ("scenario_blocks", "scenario_modules_per_block",
+                     "scenario_datapath_width", "scenario_pipeline_depth",
+                     "scenario_error_report_width",
+                     "scenario_sites_per_module", "scenario_sim_cycles"):
+            value = getattr(self, name)
+            if value is not None and (not _is_int(value) or value < 1):
+                raise ConfigError(
+                    f"{name} must be a positive integer or absent, "
+                    f"got {value!r}"
+                )
+        if self.scenario_triage is not None \
+                and not isinstance(self.scenario_triage, bool):
+            raise ConfigError(
+                f"scenario_triage must be a boolean or absent, "
+                f"got {self.scenario_triage!r}"
+            )
+        if self.scenario_classes is not None:
+            if isinstance(self.scenario_classes, str):
+                # tuple("p1") would silently split into characters
+                raise ConfigError(
+                    f"scenario classes must be a list of defect-class "
+                    f"names, got the bare string "
+                    f"{self.scenario_classes!r}"
+                )
+            object.__setattr__(self, "scenario_classes",
+                               tuple(self.scenario_classes))
+            for cls_name in self.scenario_classes:
+                if not isinstance(cls_name, str):
+                    raise ConfigError(
+                        f"scenario classes must be defect-class name "
+                        f"strings, got {cls_name!r}"
+                    )
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> Dict[str, Dict[str, object]]:

@@ -56,7 +56,7 @@ def make_verifiable(module: Module, ec_port: str = EC_PORT,
     if ec_port in module.inputs or ed_port in module.inputs:
         raise RtlError(f"module {module.name!r} already has injection ports")
 
-    clone, mapping = _clone_leaf(module)
+    clone, mapping = clone_leaf(module)
 
     ec_width = max(ent.ec_index for ent in spec.entities) + 1
     ed_width = max(_reg_by_name(clone, ent.reg_name).width
@@ -110,8 +110,14 @@ def make_wrapper(verifiable: Module, wrapper_name: Optional[str] = None,
     return wrapper
 
 
-def _clone_leaf(module: Module) -> "tuple[Module, Dict[Expr, Expr]]":
-    """Deep-copy a leaf module so the transform never mutates its input."""
+def clone_leaf(module: Module) -> "tuple[Module, Dict[Expr, Expr]]":
+    """Deep-copy a leaf module (and return the old→new expression
+    mapping) so structural transforms never mutate their input.
+
+    Shared by this module's injection transform and the scenario
+    layer's defect-seeding transforms (:mod:`repro.scenario.mutate`),
+    which clone a base module and then patch one register or output.
+    """
     clone = Module(module.name)
     mapping: Dict[Expr, Expr] = {}
     for name, port in module.inputs.items():
@@ -126,6 +132,10 @@ def _clone_leaf(module: Module) -> "tuple[Module, Dict[Expr, Expr]]":
     clone.integrity = module.integrity
     clone.attrs = dict(module.attrs)
     return clone, mapping
+
+
+#: backwards-compatible alias (pre-scenario callers)
+_clone_leaf = clone_leaf
 
 
 def _reg_by_name(module: Module, name: str) -> Reg:

@@ -144,6 +144,26 @@ class IntegritySpec:
                 return ent
         raise KeyError(f"no protected entity named {name!r}")
 
+    def ec_index_of(self, name: str) -> int:
+        """The EC bit injecting the named entity.
+
+        This is the *stable-identifier* path into the injection
+        plumbing: callers address an entity by name (the same name a
+        :class:`~repro.chip.defects.DefectSite` location carries) and
+        get its EC hookup, instead of assuming anything about list
+        positions — entity order may change as a module generator
+        grows, entity names and their EC wiring travel together.
+        """
+        return self.entity(name).ec_index
+
+    def output_group(self, signal: str) -> ParityGroup:
+        """The protected output group on the named port (full-port
+        groups; raises ``KeyError`` when the port carries none)."""
+        for group in self.protected_outputs:
+            if group.signal == signal:
+                return group
+        raise KeyError(f"no protected output group on {signal!r}")
+
     def validate_against(self, module) -> List[str]:
         """Return a list of inconsistencies between this spec and the
         module's actual ports/registers (empty list = consistent)."""

@@ -1,0 +1,38 @@
+"""Scenario layer: chip-family generation and defect-seeding sweeps.
+
+The paper's tables are measured on one fixed chip; this layer turns the
+methodology itself into the thing under test.  It sits *above* the
+chip, sim, and orchestrate layers (like the CLI) and provides:
+
+- :mod:`repro.scenario.family` — a parameterized, seeded, content-
+  digested chip-family generator over the library stereotypes
+  (:class:`FamilySpec` scales block count, datapath width, pipeline
+  depth, and error-report width);
+- :mod:`repro.scenario.mutate` — defect-seeding transforms for the
+  four defect classes of :data:`repro.chip.defects.DEFECT_CLASSES`,
+  addressed by stable :class:`~repro.chip.defects.DefectSite`
+  identifiers;
+- :mod:`repro.scenario.sweep` — the mutation campaign: every sampled
+  site becomes a mutant variant, the existing planner/executors run a
+  formal campaign over all mutants at once, and the outcome is a
+  versioned detection-rate record (byte-identical across executors);
+- :mod:`repro.scenario.triage` — the sim-then-formal mode: cheap
+  random simulation screens mutants first, formal confirms, and every
+  sim counterexample is replayed against the compiled assertion.
+"""
+
+from .family import FamilySpec, generate_family, verifiable_family
+from .mutate import apply_defect, enumerate_sites, sites_for_family
+from .sweep import (
+    SWEEP_SCHEMA, canonical_record_bytes, record_digest, run_sweep,
+    sweep_from_config,
+)
+from .triage import replay_violation, sim_screen
+
+__all__ = [
+    "FamilySpec", "generate_family", "verifiable_family",
+    "apply_defect", "enumerate_sites", "sites_for_family",
+    "SWEEP_SCHEMA", "canonical_record_bytes", "record_digest",
+    "run_sweep", "sweep_from_config",
+    "replay_violation", "sim_screen",
+]

@@ -1,0 +1,153 @@
+"""Parameterized chip-family generation.
+
+A :class:`FamilySpec` is to a generated chip what a
+:class:`~repro.orchestrate.config.CampaignConfig` is to a campaign:
+frozen plain data, serializable, and content-digested — the same spec
+always generates byte-identical RTL (``emit_module`` text), so
+generated scenarios are cacheable and their check jobs fingerprint-
+stable across runs and executors.
+
+Each block of the family holds one *wide* module — the Figure 7 merge
+datapath scaled by ``datapath_width`` and ``pipeline_depth`` — plus a
+seeded mix of :func:`~repro.chip.library.generic_leaf` shapes whose
+entity/port counts are drawn from a per-module deterministic RNG.
+``error_report_width`` bounds how many HE report outputs a generic
+leaf distributes its failure flags over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, fields
+from typing import Dict, List, Tuple
+
+from ..chip.library import LeafConfig, fig7_module, generic_leaf
+from ..rtl.inject import make_verifiable
+from ..rtl.module import Module
+
+Blocks = List[Tuple[str, List[Module]]]
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Shape of one generated chip family (all knobs, one digest).
+
+    - ``blocks`` / ``modules_per_block`` scale the campaign's breadth;
+    - ``datapath_width`` / ``pipeline_depth`` scale each block's wide
+      module (the Figure 7 stereotype) — datapath bits per stage and
+      stages per chain;
+    - ``error_report_width`` caps the HE report outputs of the generic
+      leaves (each leaf uses ``min(error_report_width, flags)``).
+    """
+
+    name: str = "family"
+    seed: int = 2004
+    blocks: int = 2
+    modules_per_block: int = 2
+    datapath_width: int = 8
+    pipeline_depth: int = 2
+    error_report_width: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"family name must be a non-empty string, "
+                             f"got {self.name!r}")
+        for field_name, minimum in (
+            ("seed", 0), ("blocks", 1), ("modules_per_block", 1),
+            ("datapath_width", 2), ("pipeline_depth", 1),
+            ("error_report_width", 1),
+        ):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                raise ValueError(
+                    f"family {field_name} must be an integer >= "
+                    f"{minimum}, got {value!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FamilySpec":
+        return cls(**data)
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical serialized form — the family's
+        content identity, stamped into every sweep record."""
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _block_name(index: int) -> str:
+    """``A``..``Z``, then ``A26``, ``A27``... — short, stable names."""
+    if index < 26:
+        return chr(ord("A") + index)
+    return f"A{index}"
+
+
+def _leaf_config(spec: FamilySpec, block: str, position: int) -> LeafConfig:
+    """One seeded generic-leaf shape.
+
+    The RNG is keyed by (family seed, family name, block, position), so
+    a module's shape never depends on how many siblings were generated
+    before it — growing the family leaves existing modules' RTL (and
+    hence their job fingerprints) untouched.
+    """
+    rng = random.Random(f"{spec.seed}:{spec.name}:{block}:{position}")
+    fsm = rng.randint(0, 2)
+    counter = rng.randint(0, 1)
+    datapath = rng.randint(1, 2)        # >= 1 entity guaranteed
+    onehot = rng.randint(0, 1)
+    input_groups = rng.randint(1, 2)
+    output_groups = rng.randint(1, 2)
+    flags = fsm + counter + datapath + onehot + input_groups
+    he = min(spec.error_report_width, flags)
+    return LeafConfig(
+        name=f"{block}{position:02d}_leaf",
+        fsm=fsm,
+        counter=counter,
+        datapath=datapath,
+        onehot=onehot,
+        input_groups=input_groups,
+        he=he,
+        output_groups=output_groups,
+    )
+
+
+def generate_family(spec: FamilySpec) -> Blocks:
+    """Generate the family's *base* (pre-injection) blocks.
+
+    Deterministic: the same spec always produces modules with
+    byte-identical emitted Verilog.  Block ``i`` holds one wide
+    Figure 7 module (``<block>00_wide``, scaled by the spec's width
+    and depth) followed by ``modules_per_block - 1`` seeded generic
+    leaves.
+    """
+    blocks: Blocks = []
+    for index in range(spec.blocks):
+        block = _block_name(index)
+        modules: List[Module] = [
+            fig7_module(f"{block}00_wide",
+                        data_width=spec.datapath_width,
+                        depth=spec.pipeline_depth)
+        ]
+        for position in range(1, spec.modules_per_block):
+            modules.append(generic_leaf(_leaf_config(spec, block,
+                                                     position)))
+        blocks.append((block, modules))
+    return blocks
+
+
+def verifiable_family(spec: FamilySpec) -> Blocks:
+    """The family in Verifiable RTL form (error-injection ports
+    inserted) — the golden, defect-free variant the formal campaign
+    consumes and every mutant is diffed against."""
+    return [
+        (block, [make_verifiable(module) for module in modules])
+        for block, modules in generate_family(spec)
+    ]

@@ -1,0 +1,232 @@
+"""Defect-seeding mutation transforms.
+
+Each transform clones a *base* (pre-injection) leaf module via
+:func:`~repro.rtl.inject.clone_leaf` and patches exactly one register
+or output, producing a mutant that some stereotype property must
+catch.  Mutants are addressed by stable
+:class:`~repro.chip.defects.DefectSite` identifiers, and callers apply
+:func:`~repro.rtl.inject.make_verifiable` *after* mutation — so the
+error-injection mux wraps the mutated next-state function and the P0
+injection path stays intact (a parity defect must not break Check1).
+
+Mutation design notes (why these four shapes):
+
+- the library's data transformations are deliberately parity-neutral
+  (rotations permute bits, XOR-merges of odd counts preserve odd
+  parity), so a useful mutant must change the *bit multiset* or the
+  *parity source*, never just reorder bits;
+- ``stuck-parity`` forces the stored parity bit to 1 (see
+  :mod:`repro.chip.defects` for why stuck-at-1, not 0);
+- ``wrong-rotate`` turns a rotate into a shift: the wrapped bit is
+  dropped and a 0 shifted in, while the parity bit travels unchanged;
+- ``swapped-operand`` recomputes an output's parity bit over the first
+  protected *input's* data word — a state-determined word checked
+  against a free input's parity is always formally refutable;
+- ``dropped-error-flag`` ties one HE report output to 0 — invisible to
+  clean-traffic simulation (no error, no report either way) but caught
+  by P0's injection obligation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..chip.defects import (
+    DEFECT_CLASSES, DROPPED_ERROR_FLAG, STUCK_PARITY, SWAPPED_OPERAND,
+    WRONG_ROTATE, DefectSite,
+)
+from ..rtl.inject import clone_leaf
+from ..rtl.module import Module, RtlError
+from ..rtl.parity import odd_parity_bit
+from ..rtl.signals import Const, cat
+
+from .family import Blocks
+
+#: the stereotype property category expected to catch each class
+EXPECTED_CATEGORY = {
+    STUCK_PARITY: "P1",
+    WRONG_ROTATE: "P2",
+    SWAPPED_OPERAND: "P2",
+    DROPPED_ERROR_FLAG: "P0",
+}
+
+#: whether clean-traffic random simulation can in principle observe the
+#: defect (``dropped-error-flag`` suppresses the only observable — the
+#: report — so only formal's injection obligation sees it)
+SIM_VISIBLE = {
+    STUCK_PARITY: True,
+    WRONG_ROTATE: True,
+    SWAPPED_OPERAND: True,
+    DROPPED_ERROR_FLAG: False,
+}
+
+
+def _first_full_input(module: Module) -> Optional[str]:
+    """The first whole-port protected input group's signal name."""
+    for group in module.integrity.protected_inputs:
+        if group.lsb == 0 and group.width is None:
+            return group.signal
+    return None
+
+
+def enumerate_sites(module: Module) -> List[DefectSite]:
+    """All defect sites seedable into one base leaf module.
+
+    Deterministic: follows the integrity spec's declaration order,
+    class by class (entities, then output groups twice, then HE
+    signals).  Eligibility rules:
+
+    - ``stuck-parity`` — every protected entity;
+    - ``wrong-rotate`` — whole-port output groups with >= 2 data bits
+      (on a 1-bit word a shift cannot drop anything a rotate keeps);
+    - ``swapped-operand`` — whole-port output groups whose width
+      matches the first whole-port protected input's (the recomputed
+      parity must cover a same-shaped word);
+    - ``dropped-error-flag`` — every HE report signal.
+    """
+    spec = module.integrity
+    if spec is None:
+        raise RtlError(f"module {module.name!r} has no integrity spec")
+    sites: List[DefectSite] = []
+    for ent in spec.entities:
+        sites.append(DefectSite(STUCK_PARITY, module.name, ent.name))
+    full_outputs = [
+        group.signal for group in spec.protected_outputs
+        if group.lsb == 0 and group.width is None
+    ]
+    for signal in full_outputs:
+        if module.outputs[signal].width >= 3:
+            sites.append(DefectSite(WRONG_ROTATE, module.name, signal))
+    swap_source = _first_full_input(module)
+    if swap_source is not None:
+        source_width = module.inputs[swap_source].width
+        for signal in full_outputs:
+            if module.outputs[signal].width == source_width:
+                sites.append(
+                    DefectSite(SWAPPED_OPERAND, module.name, signal))
+    for he in spec.he_signals:
+        sites.append(DefectSite(DROPPED_ERROR_FLAG, module.name, he))
+    return sites
+
+
+def sites_for_family(blocks: Blocks,
+                     classes: Optional[Sequence[str]] = None,
+                     sites_per_module: Optional[int] = None,
+                     seed: int = 0
+                     ) -> List[Tuple[str, Module, DefectSite]]:
+    """Enumerate (and optionally subsample) the sweep's defect sites.
+
+    Returns ``(block, base module, site)`` triples in deterministic
+    order.  ``classes`` filters by defect class (default: all four);
+    ``sites_per_module`` caps the per-module site count with a seeded
+    sample keyed by ``(seed, module name)`` — so adding a module to the
+    family never changes which sites its siblings contribute.
+    """
+    wanted = DEFECT_CLASSES if classes is None else tuple(classes)
+    for cls in wanted:
+        if cls not in DEFECT_CLASSES:
+            raise ValueError(
+                f"unknown defect class {cls!r}; "
+                f"expected one of {DEFECT_CLASSES}"
+            )
+    selected: List[Tuple[str, Module, DefectSite]] = []
+    for block, modules in blocks:
+        for module in modules:
+            eligible = [site for site in enumerate_sites(module)
+                        if site.defect_class in wanted]
+            if sites_per_module is not None \
+                    and len(eligible) > sites_per_module:
+                rng = random.Random(f"{seed}:{module.name}")
+                keep = sorted(rng.sample(range(len(eligible)),
+                                         sites_per_module))
+                eligible = [eligible[i] for i in keep]
+            selected.extend((block, module, site) for site in eligible)
+    return selected
+
+
+# ----------------------------------------------------------------------
+# the transforms
+# ----------------------------------------------------------------------
+
+def _patch_stuck_parity(clone: Module, site: DefectSite) -> None:
+    ent = clone.integrity.entity(site.location)
+    for reg in clone.regs:
+        if reg.name == ent.reg_name:
+            break
+    else:
+        raise RtlError(f"module {clone.name!r}: entity {site.location!r} "
+                       f"references missing register {ent.reg_name!r}")
+    width = reg.width
+    reg.next = cat(Const(1, 1), reg.next[0:width - 1])
+
+
+def _patch_wrong_rotate(clone: Module, site: DefectSite) -> None:
+    clone.integrity.output_group(site.location)
+    word = clone.outputs[site.location]
+    data_width = word.width - 1
+    if data_width < 2:
+        raise RtlError(
+            f"wrong-rotate needs >= 2 data bits on {site.location!r}, "
+            f"got {data_width}"
+        )
+    clone.outputs[site.location] = cat(
+        word[data_width], word[0:data_width - 1], Const(0, 1)
+    )
+
+
+def _patch_swapped_operand(clone: Module, site: DefectSite) -> None:
+    clone.integrity.output_group(site.location)
+    word = clone.outputs[site.location]
+    source = _first_full_input(clone)
+    if source is None:
+        raise RtlError(
+            f"swapped-operand on {clone.name!r} needs a whole-port "
+            f"protected input to swap in"
+        )
+    port = clone.inputs[source]
+    if port.width != word.width:
+        raise RtlError(
+            f"swapped-operand on {site.location!r}: input {source!r} is "
+            f"{port.width} bits, output is {word.width}"
+        )
+    data_width = word.width - 1
+    clone.outputs[site.location] = cat(
+        odd_parity_bit(port[0:data_width]), word[0:data_width]
+    )
+
+
+def _patch_dropped_error_flag(clone: Module, site: DefectSite) -> None:
+    if site.location not in clone.integrity.he_signals:
+        raise RtlError(f"module {clone.name!r} has no HE signal "
+                       f"{site.location!r}")
+    clone.outputs[site.location] = Const(0, 1)
+
+
+_PATCHES = {
+    STUCK_PARITY: _patch_stuck_parity,
+    WRONG_ROTATE: _patch_wrong_rotate,
+    SWAPPED_OPERAND: _patch_swapped_operand,
+    DROPPED_ERROR_FLAG: _patch_dropped_error_flag,
+}
+
+
+def apply_defect(module: Module, site: DefectSite) -> Module:
+    """Seed one defect into a base leaf module.
+
+    Returns a patched clone (the input module is never mutated) with
+    the site id recorded in ``attrs["defect_site"]``.  The caller runs
+    :func:`~repro.rtl.inject.make_verifiable` on the result, exactly as
+    for the defect-free design.
+    """
+    if module.integrity is None:
+        raise RtlError(f"module {module.name!r} has no integrity spec")
+    if site.module_name != module.name:
+        raise RtlError(
+            f"site {site.site_id!r} does not address module "
+            f"{module.name!r}"
+        )
+    clone, _ = clone_leaf(module)
+    _PATCHES[site.defect_class](clone, site)
+    clone.attrs["defect_site"] = site.site_id
+    return clone

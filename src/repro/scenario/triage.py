@@ -1,0 +1,105 @@
+"""Sim-then-formal triage of mutation campaigns.
+
+The cheap screen runs first: every mutant simulates under legal random
+traffic (:class:`~repro.sim.stimulus.IntegrityStimulus` — odd parity on
+protected inputs, injection held off) with the dynamic P1/P2 monitors
+watching.  Mutants the screen catches are already dead; formal then
+settles the rest *and* re-confirms the screened ones, because the
+methodology's soundness cross-check is directional: **a sim FAIL must
+imply a formal FAIL** — the monitors are the dynamic counterparts of
+the stereotype assertions, so a violation the simulator observed under
+legal traffic is a counterexample the model checker must also find.
+
+:func:`replay_violation` closes the loop mechanically: the recorded
+stimulus prefix up to the violation is converted into a bit-level
+:class:`~repro.formal.trace.Trace` and concretely replayed against the
+compiled stereotype assertion.  A sim counterexample that replays as a
+formal counterexample is the strongest agreement evidence short of the
+model-check itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.stereotypes import P1, P2, stereotype_vunits
+from ..formal.trace import Trace
+from ..formal.transition import TransitionSystem
+from ..psl.compile import compile_assertion
+from ..rtl.module import Module
+from ..sim.campaign import SimModuleResult, SimulationCampaign
+from ..sim.testbench import Violation
+
+#: testbench monitor name -> the stereotype category it shadows
+_MONITOR_CATEGORY = {"HE": P1, "OutputParity": P2}
+
+
+def sim_screen(mutants: Sequence[Tuple[str, Module]],
+               cycles: int = 256, seed: int = 2004
+               ) -> Dict[str, SimModuleResult]:
+    """Random-simulation screen over ``(site_id, verifiable module)``
+    mutants.
+
+    Returns results keyed by site id (mutants of the same base module
+    share a module *name*, so the pairing is positional).  Stimulus is
+    recorded so violations can be replayed formally.
+    """
+    campaign = SimulationCampaign(
+        [module for _, module in mutants],
+        cycles_per_module=cycles, seed=seed, record_stimulus=True,
+    )
+    report = campaign.run()
+    return {site_id: result
+            for (site_id, _), result in zip(mutants, report.results)}
+
+
+def trace_from_vectors(ts: TransitionSystem,
+                       vectors: Sequence[Mapping[str, int]]) -> Trace:
+    """Convert word-level stimulus vectors into a bit-level trace on
+    one compiled assertion's transition system.
+
+    Ports absent from the system's cone simply contribute no literals;
+    undriven literals default to 0 during replay — the same convention
+    the engines' counterexamples use.
+    """
+    frames: List[Dict[int, int]] = []
+    for vector in vectors:
+        frame: Dict[int, int] = {}
+        for name, bits in ts.blaster.input_bits.items():
+            value = vector.get(name, 0)
+            for position, lit in enumerate(bits):
+                frame[lit] = (value >> position) & 1
+        frames.append(frame)
+    return Trace(ts, frames)
+
+
+def replay_violation(module: Module, violation: Violation,
+                     vectors: Sequence[Mapping[str, int]]
+                     ) -> Optional[str]:
+    """Replay one sim violation through the formal trace machinery.
+
+    ``vectors`` is the recorded stimulus of the simulation run that
+    produced ``violation``; the prefix up to the violation cycle (the
+    testbench observes outputs of cycle ``c`` after applying vector
+    ``c-1``, matching formal frame ``c-1``) becomes the candidate
+    counterexample.  Returns the qualified name
+    (``vunit.assertion``) of the first stereotype assertion of the
+    violation's category that the trace concretely refutes — i.e. the
+    replay violates the assertion on its last frame while satisfying
+    every environment assumption — or ``None`` when no assertion
+    confirms the violation (a triage *disagreement*).
+    """
+    category = _MONITOR_CATEGORY.get(violation.monitor)
+    if category is None:
+        return None
+    prefix = list(vectors[:violation.cycle])
+    if not prefix:
+        return None
+    for vunit in stereotype_vunits(module):
+        if vunit.category != category:
+            continue
+        for assert_name, _ in vunit.asserted():
+            ts = compile_assertion(module, vunit, assert_name)
+            if trace_from_vectors(ts, prefix).replay():
+                return f"{vunit.name}.{assert_name}"
+    return None

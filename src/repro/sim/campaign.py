@@ -30,6 +30,11 @@ class SimModuleResult:
     cycles_run: int
     violations: List[Violation] = field(default_factory=list)
     seconds: float = 0.0
+    #: the input vectors actually applied, in order (populated only
+    #: when the campaign runs with ``record_stimulus=True``) — the raw
+    #: material for replaying a violation through the formal trace
+    #: machinery (:func:`repro.scenario.triage.replay_violation`)
+    stimulus: List[Dict[str, int]] = field(default_factory=list)
 
     @property
     def found_bug(self) -> bool:
@@ -72,14 +77,20 @@ class SimulationCampaign:
     behavioural models of hard macros.  Modules may provide such a view
     in ``module.attrs['sim_view']`` (used to reproduce bug B3, where the
     macro's behavioural model was wrong and masked the bug).
+
+    ``record_stimulus`` keeps the applied input vectors on each
+    module's result — required when a violation is to be replayed as a
+    formal counterexample (sim-then-formal triage).
     """
 
     def __init__(self, modules: List[Module], cycles_per_module: int = 2000,
-                 seed: int = 2004, stop_on_violation: bool = True) -> None:
+                 seed: int = 2004, stop_on_violation: bool = True,
+                 record_stimulus: bool = False) -> None:
         self.modules = modules
         self.cycles_per_module = cycles_per_module
         self.seed = seed
         self.stop_on_violation = stop_on_violation
+        self.record_stimulus = record_stimulus
 
     def run(self) -> SimCampaignReport:
         report = SimCampaignReport()
@@ -96,12 +107,20 @@ class SimulationCampaign:
         stimulus = IntegrityStimulus(
             sim_module, spec, seed=self.seed + index * 7919
         )
-        bench.run(stimulus.vectors(self.cycles_per_module),
-                  stop_on_violation=self.stop_on_violation)
+        if self.record_stimulus:
+            vectors = [stimulus.vector()
+                       for _ in range(self.cycles_per_module)]
+            bench.run(vectors, stop_on_violation=self.stop_on_violation)
+            applied = vectors[:bench.simulator.cycle]
+        else:
+            bench.run(stimulus.vectors(self.cycles_per_module),
+                      stop_on_violation=self.stop_on_violation)
+            applied = []
         elapsed = time.perf_counter() - started
         return SimModuleResult(
             module_name=module.name,
             cycles_run=bench.simulator.cycle,
             violations=list(bench.violations),
             seconds=elapsed,
+            stimulus=applied,
         )

@@ -1,0 +1,147 @@
+"""Stable defect identifiers: DefectSite, the injection-plumbing
+lookups they address, and per-block defect accounting."""
+
+import pytest
+
+from repro.chip.defects import (
+    DEFECT_CLASSES, DEFECTS, DROPPED_ERROR_FLAG, STUCK_PARITY,
+    SWAPPED_OPERAND, WRONG_ROTATE, DefectSite, defects_in_blocks,
+)
+from repro.chip.library import LeafConfig, canonical_leaf, generic_leaf
+from repro.core.bugs import Defect
+from repro.rtl.inject import clone_leaf, _clone_leaf
+from repro.rtl.module import RtlError
+from repro.scenario.mutate import apply_defect, enumerate_sites
+
+
+class TestDefectSite:
+    def test_site_id_roundtrip(self):
+        for defect_class in DEFECT_CLASSES:
+            site = DefectSite(defect_class, "A00_wide", "loc0")
+            assert DefectSite.parse(site.site_id) == site
+
+    def test_site_id_format(self):
+        site = DefectSite(STUCK_PARITY, "M", "stateA")
+        assert site.site_id == "stuck-parity@M:stateA"
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown defect class"):
+            DefectSite("melted-fuse", "M", "x")
+
+    @pytest.mark.parametrize("module_name,location", [
+        ("", "x"), ("M", ""), ("A@B", "x"), ("M", "a:b"), ("M:N", "x"),
+    ])
+    def test_reserved_characters_rejected(self, module_name, location):
+        with pytest.raises(ValueError):
+            DefectSite(STUCK_PARITY, module_name, location)
+
+    @pytest.mark.parametrize("text", [
+        "nonsense", "stuck-parity@onlymodule", "stuck-parity:noat",
+        "", "@M:l",
+    ])
+    def test_parse_malformed(self, text):
+        with pytest.raises(ValueError):
+            DefectSite.parse(text)
+
+
+class TestDefectsInBlocks:
+    def test_default_catalogue(self):
+        counts = defects_in_blocks()
+        assert counts == {"A": 3, "C": 1, "D": 1, "E": 2}
+        assert sum(counts.values()) == len(DEFECTS)
+
+    def test_custom_defect_records(self):
+        custom = [
+            Defect("X0", "Q", "Q00", "P1", True, "seeded"),
+            Defect("X1", "Q", "Q01", "P2", False, "seeded"),
+            Defect("X2", "R", "R00", "P0", False, "seeded"),
+        ]
+        assert defects_in_blocks(custom) == {"Q": 2, "R": 1}
+
+    def test_empty(self):
+        assert defects_in_blocks([]) == {}
+
+
+class TestInjectionPlumbingLookups:
+    """The by-name paths a site identifier resolves through."""
+
+    def test_ec_index_of(self, leaf):
+        spec = leaf.integrity
+        assert spec.ec_index_of("stateA") == 0
+        assert spec.ec_index_of("dataB") == 1
+        with pytest.raises(KeyError):
+            spec.ec_index_of("nonexistent")
+
+    def test_output_group(self, leaf):
+        group = leaf.integrity.output_group("O")
+        assert group.signal == "O"
+        with pytest.raises(KeyError):
+            leaf.integrity.output_group("HE")
+
+    def test_clone_leaf_is_public_with_compat_alias(self, leaf):
+        clone, mapping = clone_leaf(leaf)
+        assert clone.name == leaf.name
+        assert clone is not leaf
+        assert _clone_leaf is clone_leaf
+
+
+class TestSiteStabilityUnderGrowth:
+    """Growing a module's configuration must never rename existing
+    sites — records keyed by site id stay comparable."""
+
+    def _config(self, output_groups):
+        return LeafConfig(name="G", fsm=1, counter=1, datapath=1,
+                          input_groups=1, he=2,
+                          output_groups=output_groups)
+
+    def test_growth_preserves_site_ids(self):
+        small = {s.site_id
+                 for s in enumerate_sites(generic_leaf(self._config(1)))}
+        grown = {s.site_id
+                 for s in enumerate_sites(generic_leaf(self._config(2)))}
+        assert small < grown
+        assert all("OUT1" in site_id for site_id in grown - small)
+
+
+class TestApplyDefectValidation:
+    def test_wrong_module_rejected(self, leaf):
+        site = DefectSite(STUCK_PARITY, "other", "stateA")
+        with pytest.raises(RtlError, match="does not address"):
+            apply_defect(leaf, site)
+
+    def test_unknown_entity_rejected(self, leaf):
+        site = DefectSite(STUCK_PARITY, leaf.name, "ghost")
+        with pytest.raises(KeyError):
+            apply_defect(leaf, site)
+
+    def test_unknown_he_rejected(self, leaf):
+        site = DefectSite(DROPPED_ERROR_FLAG, leaf.name, "O")
+        with pytest.raises(RtlError, match="no HE signal"):
+            apply_defect(leaf, site)
+
+    def test_unknown_output_rejected(self, leaf):
+        for defect_class in (WRONG_ROTATE, SWAPPED_OPERAND):
+            site = DefectSite(defect_class, leaf.name, "HE")
+            with pytest.raises(KeyError):
+                apply_defect(leaf, site)
+
+    def test_input_is_never_mutated(self, leaf):
+        before = {name: repr(expr) for name, expr in leaf.outputs.items()}
+        for site in enumerate_sites(leaf):
+            mutant = apply_defect(leaf, site)
+            assert mutant.attrs["defect_site"] == site.site_id
+            assert "defect_site" not in leaf.attrs
+        after = {name: repr(expr) for name, expr in leaf.outputs.items()}
+        assert before == after
+
+    def test_canonical_leaf_site_inventory(self, leaf):
+        by_class = {}
+        for site in enumerate_sites(leaf):
+            by_class.setdefault(site.defect_class, []).append(
+                site.location)
+        assert by_class == {
+            STUCK_PARITY: ["stateA", "dataB"],
+            WRONG_ROTATE: ["O"],
+            SWAPPED_OPERAND: ["O"],
+            DROPPED_ERROR_FLAG: ["HE"],
+        }

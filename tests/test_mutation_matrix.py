@@ -1,0 +1,117 @@
+"""Mutation-kill matrix: a fixed family crossed with every defect
+class must leave zero survivors, each killed by its expected
+stereotype category — the sweeps' quality bar in miniature."""
+
+import pytest
+
+from repro.chip.defects import DEFECT_CLASSES
+from repro.scenario import (
+    FamilySpec, canonical_record_bytes, generate_family, record_digest,
+    run_sweep,
+)
+from repro.scenario.mutate import (
+    EXPECTED_CATEGORY, enumerate_sites, sites_for_family,
+)
+from repro.scenario.sweep import SWEEP_SCHEMA
+
+MATRIX_SPEC = FamilySpec(blocks=1, modules_per_block=2,
+                         datapath_width=4, pipeline_depth=1,
+                         error_report_width=2)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """One sweep over the full fixed family x defect-class grid."""
+    record, report = run_sweep(MATRIX_SPEC)
+    return record, report
+
+
+class TestKillMatrix:
+    def test_zero_survivors(self, matrix):
+        record, _ = matrix
+        assert record["detection"]["survivors"] == []
+        assert record["detection"]["detected"] \
+            == record["detection"]["total"]
+        assert record["detection"]["rate"] == 1.0
+
+    def test_every_class_seeded(self, matrix):
+        record, _ = matrix
+        seeded = {row["class"] for row in record["mutants"]}
+        assert seeded == set(DEFECT_CLASSES)
+
+    def test_expected_category_kills_each_mutant(self, matrix):
+        record, _ = matrix
+        for row in record["mutants"]:
+            assert EXPECTED_CATEGORY[row["class"]] \
+                in row["failing_categories"], row["site"]
+
+    def test_first_fail_is_canonical(self, matrix):
+        record, _ = matrix
+        for row in record["mutants"]:
+            first = row["first_fail"]
+            assert not first["engine"].startswith("portfolio:")
+            assert "." in first["property"]
+
+    def test_engine_attempts_recorded(self, matrix):
+        record, _ = matrix
+        engines = record["timing"]["engines"]
+        assert engines
+        assert sum(bucket["fails"] for bucket in engines.values()) \
+            >= record["detection"]["total"]
+
+    def test_record_is_versioned_and_stamped(self, matrix):
+        record, report = matrix
+        assert record["schema"] == SWEEP_SCHEMA
+        assert record["family"] == MATRIX_SPEC.to_dict()
+        assert record["family_digest"] == MATRIX_SPEC.digest()
+        assert report.stats["scenario_sweep"] is record
+
+    def test_rerun_is_byte_identical(self, matrix):
+        record, _ = matrix
+        again, _ = run_sweep(MATRIX_SPEC)
+        assert canonical_record_bytes(again) \
+            == canonical_record_bytes(record)
+        assert record_digest(again) == record_digest(record)
+
+    def test_canonical_bytes_exclude_timing(self, matrix):
+        record, _ = matrix
+        assert b"timing" not in canonical_record_bytes(record)
+        assert "campaign_seconds" in record["timing"]
+
+
+class TestSiteSampling:
+    def test_class_filter(self):
+        blocks = generate_family(MATRIX_SPEC)
+        only = sites_for_family(blocks, classes=["stuck-parity"])
+        assert only
+        assert all(site.defect_class == "stuck-parity"
+                   for _, _, site in only)
+
+    def test_unknown_class_rejected(self):
+        blocks = generate_family(MATRIX_SPEC)
+        with pytest.raises(ValueError, match="unknown defect class"):
+            sites_for_family(blocks, classes=["bit-rot"])
+
+    def test_sites_per_module_cap_is_deterministic(self):
+        blocks = generate_family(MATRIX_SPEC)
+        capped = sites_for_family(blocks, sites_per_module=2, seed=11)
+        again = sites_for_family(blocks, sites_per_module=2, seed=11)
+        assert [s.site_id for _, _, s in capped] \
+            == [s.site_id for _, _, s in again]
+        per_module = {}
+        for _, module, site in capped:
+            per_module.setdefault(module.name, []).append(site.site_id)
+        assert all(len(ids) == 2 for ids in per_module.values())
+        full = {s.site_id for _, _, s in sites_for_family(blocks)}
+        assert {s.site_id for _, _, s in capped} <= full
+
+    def test_sampling_preserves_enumeration_order(self):
+        blocks = generate_family(MATRIX_SPEC)
+        capped = sites_for_family(blocks, sites_per_module=3, seed=5)
+        for _, modules in blocks:
+            for module in modules:
+                order = [s.site_id for s in enumerate_sites(module)]
+                chosen = [s.site_id for _, m, s in capped
+                          if m.name == module.name]
+                assert chosen == [sid for sid in order
+                                  if sid in set(chosen)]

@@ -1,0 +1,114 @@
+"""Sim-then-formal triage: the directional soundness cross-check
+(sim FAIL implies formal FAIL) and the formal replay of simulation
+counterexamples."""
+
+import pytest
+
+from repro.chip.defects import (
+    DROPPED_ERROR_FLAG, STUCK_PARITY, WRONG_ROTATE, DefectSite,
+)
+from repro.rtl.inject import make_verifiable
+from repro.scenario import FamilySpec, run_sweep
+from repro.scenario.mutate import SIM_VISIBLE, apply_defect
+from repro.scenario.triage import (
+    replay_violation, sim_screen, trace_from_vectors,
+)
+from repro.sim.campaign import SimulationCampaign
+
+TRIAGE_SPEC = FamilySpec(blocks=1, modules_per_block=2,
+                         datapath_width=4, pipeline_depth=1,
+                         error_report_width=2)
+
+
+@pytest.fixture(scope="module")
+def triaged():
+    record, report = run_sweep(TRIAGE_SPEC, triage=True, sim_cycles=128)
+    return record, report
+
+
+class TestSimFormalAgreement:
+    def test_sim_fail_implies_formal_fail(self, triaged):
+        record, _ = triaged
+        triage = record["triage"]
+        detected = {row["site"] for row in record["mutants"]
+                    if row["detected"]}
+        assert set(triage["screened"]) <= detected
+        assert triage["formal_confirms_sim"]
+        assert triage["disagreements"] == []
+
+    def test_formal_only_class_is_invisible_to_simulation(self, triaged):
+        record, _ = triaged
+        screened = set(record["triage"]["screened"])
+        dropped = {row["site"] for row in record["mutants"]
+                   if row["class"] == DROPPED_ERROR_FLAG}
+        assert dropped
+        assert not dropped & screened
+        # ...yet formal kills every one of them, via P0
+        for row in record["mutants"]:
+            if row["class"] == DROPPED_ERROR_FLAG:
+                assert row["detected"]
+                assert row["failing_categories"] == ["P0"]
+
+    def test_screened_mutants_are_sim_visible_classes(self, triaged):
+        record, _ = triaged
+        for site_id in record["triage"]["screened"]:
+            assert SIM_VISIBLE[DefectSite.parse(site_id).defect_class]
+
+    def test_every_sim_counterexample_replays_formally(self, triaged):
+        record, _ = triaged
+        replayed = record["triage"]["replayed"]
+        assert set(replayed) == set(record["triage"]["screened"])
+        for site_id, qualified in replayed.items():
+            assert qualified is not None, site_id
+            site = DefectSite.parse(site_id)
+            vunit_name, _, assert_name = qualified.partition(".")
+            assert vunit_name.startswith(site.module_name)
+            if site.defect_class == STUCK_PARITY:
+                assert assert_name.startswith("pNoError_")
+            else:
+                assert assert_name.startswith("pIntegrityO_")
+
+
+class TestReplayMechanics:
+    def test_replay_violation_direct(self, leaf):
+        site = DefectSite(WRONG_ROTATE, leaf.name, "O")
+        mutant = make_verifiable(apply_defect(leaf, site))
+        results = sim_screen([(site.site_id, mutant)], cycles=512)
+        result = results[site.site_id]
+        assert result.found_bug
+        assert len(result.stimulus) == result.cycles_run
+        qualified = replay_violation(mutant, result.violations[0],
+                                     result.stimulus)
+        assert qualified == f"{leaf.name}_integrity.pIntegrityO_O_0"
+
+    def test_replay_requires_real_violation(self, verifiable_leaf):
+        """A clean module's traffic replays no counterexample."""
+        results = sim_screen([("clean", verifiable_leaf)], cycles=64)
+        result = results["clean"]
+        assert not result.found_bug
+
+    def test_trace_from_vectors_matches_simulation(self, leaf):
+        """The converted trace drives the same input words the
+        simulator applied (ports outside the cone are dropped)."""
+        from repro.core.stereotypes import integrity_vunit
+        from repro.psl.compile import compile_assertion
+
+        site = DefectSite(WRONG_ROTATE, leaf.name, "O")
+        mutant = make_verifiable(apply_defect(leaf, site))
+        results = sim_screen([(site.site_id, mutant)], cycles=512)
+        result = results[site.site_id]
+        vunit = integrity_vunit(mutant)
+        ts = compile_assertion(mutant, vunit, "pIntegrityO_O_0")
+        trace = trace_from_vectors(ts, result.stimulus)
+        assert trace.length == len(result.stimulus)
+        for applied, replayed in zip(result.stimulus,
+                                     trace.words_by_frame()):
+            for name, value in replayed.items():
+                width = mutant.inputs[name].width
+                assert value == (applied[name] & ((1 << width) - 1))
+
+    def test_record_stimulus_off_keeps_results_lean(self, verifiable_leaf):
+        campaign = SimulationCampaign([verifiable_leaf],
+                                      cycles_per_module=16)
+        report = campaign.run()
+        assert report.results[0].stimulus == []

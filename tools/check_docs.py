@@ -19,7 +19,10 @@ Verifies, without any third-party dependency:
    value* as rendered by ``CampaignConfig()`` (via its ``to_dict``
    TOML form) must appear inside that key's section of the reference —
    so flipping a default (the engine spec, a compile-store bound)
-   without updating the docs fails CI.
+   without updating the docs fails CI;
+6. the scenario reference (``docs/scenarios.md``) documents every
+   defect class, every ``FamilySpec`` field, and the current sweep
+   record schema version.
 
 Exit status 0 = all good; 1 = problems (each printed with file:line).
 
@@ -141,6 +144,46 @@ def check_config_reference(problems):
                 )
 
 
+def check_scenario_reference(problems):
+    """docs/scenarios.md must track the scenario layer's live
+    vocabulary: every defect class, every ``FamilySpec`` field, and
+    the current record schema version — so a new class or a schema
+    bump cannot ship undocumented."""
+    doc = REPO / "docs" / "scenarios.md"
+    if not doc.is_file():
+        problems.append("docs/scenarios.md: missing (the scenario "
+                        "sweep reference)")
+        return
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        import dataclasses
+
+        from repro.chip.defects import DEFECT_CLASSES
+        from repro.scenario.family import FamilySpec
+        from repro.scenario.sweep import SWEEP_SCHEMA
+    finally:
+        sys.path.pop(0)
+    text = doc.read_text()
+    for defect_class in DEFECT_CLASSES:
+        if f"`{defect_class}`" not in text:
+            problems.append(
+                f"docs/scenarios.md: defect class {defect_class!r} "
+                f"is undocumented"
+            )
+    for field in dataclasses.fields(FamilySpec):
+        if f"`{field.name}`" not in text:
+            problems.append(
+                f"docs/scenarios.md: FamilySpec field "
+                f"{field.name!r} is undocumented"
+            )
+    if f"`\"{SWEEP_SCHEMA}\"`" not in text:
+        problems.append(
+            f"docs/scenarios.md: record schema version "
+            f"{SWEEP_SCHEMA!r} is not documented — did it bump "
+            f"without a doc update?"
+        )
+
+
 def check_examples_table(problems):
     readme = (REPO / "README.md").read_text()
     for script in sorted((REPO / "examples").glob("*.py")):
@@ -157,6 +200,7 @@ def main():
         check_links(path, problems)
     check_examples_table(problems)
     check_config_reference(problems)
+    check_scenario_reference(problems)
     if problems:
         print(f"{len(problems)} documentation problem(s):")
         for problem in problems:
