@@ -38,6 +38,11 @@ Runs the same chip campaign several ways —
    deterministic savings), and module-affinity work-stealing runs
    comparing job throughput and the pool's aggregated store hit
    counters (the scheduled case the store was built for),
+11. a fleet-transport probe on the fixed block-C scope: the local
+   socket-fanout ``FleetExecutor`` vs serial — per-worker job counts
+   and lease bookkeeping on the healthy run, then a faulted run that
+   SIGKILLs a worker after the first result, recording the lease
+   re-issues and the recovery overhead with a byte-identical outcome,
 
 verifies every run produces a byte-identical campaign outcome
 (``CampaignReport.canonical_bytes``), and writes a perf record to
@@ -69,6 +74,7 @@ import argparse
 import json
 import os
 import pathlib
+import signal
 import sys
 import tempfile
 import time
@@ -535,6 +541,99 @@ def _bench_scenario(workers):
     }
 
 
+def _bench_fleet(workers):
+    """Socket-fanout probe on the fixed block-C scope: the local
+    ``FleetExecutor`` vs serial — byte-identical outcome plus the
+    transport bookkeeping (per-worker job counts, leases) — and a
+    faulted leg that SIGKILLs a worker after the first result, proving
+    a lost worker costs lease re-issue and recovery time, never a
+    changed verdict."""
+    from repro.orchestrate import (
+        FleetExecutor, ModuleAffinityScheduling,
+    )
+    from repro.orchestrate.fleet import LocalFleetLauncher
+
+    chip = ComponentChip(only_blocks=["C"])
+    config = CampaignConfig(sat_conflicts=1_000_000,
+                            bdd_nodes=10_000_000)
+    serial_report, serial_s = _timed_run(chip.blocks)
+    print(f"  serial baseline:    {serial_s:7.2f}s "
+          f"({serial_report.total_properties} properties)")
+
+    fleet_report, fleet_s = _timed_run(
+        chip.blocks,
+        executor=FleetExecutor(workers=workers,
+                               scheduling=ModuleAffinityScheduling()),
+    )
+    healthy = fleet_report.stats["fleet"]
+    healthy_identical = (fleet_report.canonical_bytes()
+                         == serial_report.canonical_bytes())
+    print(f"  fleet cold:         {fleet_s:7.2f}s "
+          f"({healthy['workers_launched']} workers, "
+          f"jobs {healthy['jobs_per_worker']})")
+
+    class _Tracking(LocalFleetLauncher):
+        def __init__(self):
+            self.handles = []
+
+        def launch(self, *args, **kwargs):
+            handle = super().launch(*args, **kwargs)
+            self.handles.append(handle)
+            return handle
+
+    launcher = _Tracking()
+    killed = []
+
+    def _kill_one(line):
+        if not killed and launcher.handles:
+            os.kill(launcher.handles[0].pid, signal.SIGKILL)
+            killed.append(True)
+
+    started = time.perf_counter()
+    faulted_report = CampaignOrchestrator(
+        chip.blocks, config=config,
+        executor=FleetExecutor(workers=workers, launcher=launcher,
+                               scheduling=ModuleAffinityScheduling()),
+    ).run(progress=_kill_one)
+    faulted_s = time.perf_counter() - started
+    faulted = faulted_report.stats["fleet"]
+    faulted_identical = (faulted_report.canonical_bytes()
+                        == serial_report.canonical_bytes())
+    print(f"  fleet + SIGKILL:    {faulted_s:7.2f}s "
+          f"({faulted['workers_lost']} lost, "
+          f"{faulted['leases_reissued']} leases re-issued, "
+          f"recovery {faulted_s - fleet_s:+.2f}s vs healthy)")
+
+    return {
+        "host": _host_topology(workers),
+        "scope": "blocks C",
+        "properties": serial_report.total_properties,
+        "workers": workers,
+        "seconds": {
+            "serial_cold": round(serial_s, 3),
+            "fleet_cold": round(fleet_s, 3),
+            "fleet_worker_sigkill": round(faulted_s, 3),
+        },
+        "speedup_vs_serial": round(serial_s / fleet_s, 2),
+        "healthy": {
+            "workers_launched": healthy["workers_launched"],
+            "leases_issued": healthy["leases_issued"],
+            "leases_reissued": healthy["leases_reissued"],
+            "results_rejected": healthy["results_rejected"],
+            "jobs_per_worker": healthy["jobs_per_worker"],
+        },
+        "worker_sigkill": {
+            "workers_launched": faulted["workers_launched"],
+            "workers_lost": faulted["workers_lost"],
+            "leases_reissued": faulted["leases_reissued"],
+            "results_rejected": faulted["results_rejected"],
+            "jobs_per_worker": faulted["jobs_per_worker"],
+            "recovery_overhead_seconds": round(faulted_s - fleet_s, 3),
+        },
+        "outcomes_identical": healthy_identical and faulted_identical,
+    }
+
+
 def _truncate_journal(path, keep_fraction):
     """Keep the header plus the first ``keep_fraction`` of the entries —
     the on-disk state of a campaign killed partway through."""
@@ -644,6 +743,9 @@ def main():
     sat_record = _bench_sat_workspace()
     print("scenario-sweep probe (serial vs work-stealing)")
     scenario_record = _bench_scenario(workers)
+    print("fleet-transport probe (serial vs local socket fleet, "
+          "healthy and worker-SIGKILL)")
+    fleet_record = _bench_fleet(workers)
 
     reports = {
         "serial": serial_report, "parallel": parallel_report,
@@ -705,6 +807,7 @@ def main():
         "compile_store": compile_record,
         "sat_workspace": sat_record,
         "scenario_sweep": scenario_record,
+        "fleet_transport": fleet_record,
     }
     OUT_PATH.parent.mkdir(exist_ok=True)
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
@@ -714,7 +817,8 @@ def main():
                      and adaptive_record["outcomes_identical"]
                      and compile_record["outcomes_identical"]
                      and sat_record["outcomes_identical"]
-                     and scenario_record["ok"])
+                     and scenario_record["ok"]
+                     and fleet_record["outcomes_identical"])
     return 0 if all_identical else 1
 
 

@@ -23,6 +23,13 @@ scheduled, restartable job graph:
 - :mod:`~repro.orchestrate.executor` — serial, chunked-pool, and
   work-stealing multiprocessing executors, all bound to the
   results-in-plan-order contract;
+- :mod:`~repro.orchestrate.fleet` — the socket-fanout
+  :class:`FleetExecutor`: a TCP coordinator leasing scheduling-policy
+  batches to launcher-started worker processes over the portable wire
+  format (length-prefixed JSON, no pickle), with heartbeats, lease
+  re-issue on worker death or stall, and at-most-once result
+  acceptance — the same streaming contract over a cross-host
+  transport;
 - :mod:`~repro.orchestrate.cache` — fingerprint-keyed on-disk result
   store for incremental (ECO-regression) reruns;
 - :mod:`~repro.orchestrate.checkpoint` — crash-safe journal of
@@ -153,6 +160,10 @@ from .job import (
 )
 from .planner import CampaignPlan, plan_campaign
 from .executor import ParallelExecutor, SerialExecutor, WorkStealingExecutor
+from .fleet import (
+    FleetExecutor, LocalFleetLauncher, SshFleetLauncher,
+    parse_launcher_spec,
+)
 from .cache import ResultCache
 from .checkpoint import CampaignCheckpoint, plan_digest
 from .config import (
@@ -171,6 +182,8 @@ __all__ = [
     "compile_job", "job_fingerprint", "portfolio", "run_check_job",
     "CampaignPlan", "plan_campaign",
     "ParallelExecutor", "SerialExecutor", "WorkStealingExecutor",
+    "FleetExecutor", "LocalFleetLauncher", "SshFleetLauncher",
+    "parse_launcher_spec",
     "ResultCache", "decode_result", "encode_result",
     "decode_job_result", "encode_job_result",
     "CampaignCheckpoint", "plan_digest",

@@ -18,9 +18,11 @@ methodology its missing property: a campaign's full configuration is
 
 Compact string specs stand in for object graphs:
 
-- ``executor = "workstealing:4"`` — ``serial``, ``parallel[:N]``, or
-  ``workstealing[:N]`` (``work-stealing`` accepted too); ``N`` is the
-  worker-process count, defaulting to the machine's CPU count;
+- ``executor = "workstealing:4"`` — ``serial``, ``parallel[:N]``,
+  ``workstealing[:N]`` (``work-stealing`` accepted too), or
+  ``fleet[:N]`` (the socket-fanout coordinator of
+  :mod:`repro.orchestrate.fleet`, tuned by the ``[fleet]`` section);
+  ``N`` is the worker count, defaulting to the machine's CPU count;
 - ``engines = "portfolio:kind,bdd-combined,pobdd"`` — a single engine
   name runs one stage; ``portfolio:`` prefixes a comma-separated stage
   ladder; bare ``portfolio`` is the default ladder
@@ -98,15 +100,18 @@ _EXECUTOR_KINDS = {
     "parallel": "parallel",
     "workstealing": "work-stealing",
     "work-stealing": "work-stealing",
+    "fleet": "fleet",
 }
 
 
 def parse_executor_spec(spec: str) -> Tuple[str, Optional[int]]:
     """Parse an executor spec into ``(kind, processes)``.
 
-    Grammar: ``serial`` | ``parallel[:N]`` | ``workstealing[:N]``
-    (``work-stealing`` is accepted as an alias).  ``N`` must be a
-    positive integer; ``serial`` takes no argument.
+    Grammar: ``serial`` | ``parallel[:N]`` | ``workstealing[:N]`` |
+    ``fleet[:N]`` (``work-stealing`` is accepted as an alias).  ``N``
+    is the worker count — processes for the pools, fleet workers for
+    the socket executor — and must be a positive integer; ``serial``
+    takes no argument.
     """
     if not isinstance(spec, str):
         raise ConfigError(f"executor spec must be a string, got {spec!r}")
@@ -115,7 +120,8 @@ def parse_executor_spec(spec: str) -> Tuple[str, Optional[int]]:
     if kind is None:
         raise ConfigError(
             f"unknown executor {kind_text.strip()!r} in spec {spec!r}; "
-            f"expected serial, parallel[:N], or workstealing[:N]"
+            f"expected serial, parallel[:N], workstealing[:N], or "
+            f"fleet[:N]"
         )
     if not sep:
         return kind, None
@@ -196,6 +202,12 @@ CONFIG_SCHEMA: Dict[str, Dict[str, str]] = {
         "scheduling": "scheduling",
         "portfolio": "portfolio",
         "share_bdd": "share_bdd",
+    },
+    "fleet": {
+        "port": "fleet_port",
+        "lease_timeout": "fleet_lease_timeout",
+        "heartbeat_interval": "fleet_heartbeat_interval",
+        "launcher": "fleet_launcher",
     },
     "workspace": {
         "max_managers": "workspace_max_managers",
@@ -281,6 +293,19 @@ class CampaignConfig:
     #: ``False`` where binding node budgets demand strict run-to-run
     #: byte-equality — see docs/configuration.md)
     share_bdd: bool = True
+
+    #: ``[fleet]`` — the socket-fanout executor's transport knobs
+    #: (consulted only when ``executor = "fleet[:N]"``; see
+    #: :mod:`repro.orchestrate.fleet`)
+    #: coordinator bind port (``0`` = ephemeral)
+    fleet_port: int = 0
+    #: seconds without a heartbeat/result before a worker's lease is
+    #: revoked and re-issued
+    fleet_lease_timeout: float = 30.0
+    #: worker liveness cadence in seconds
+    fleet_heartbeat_interval: float = 0.5
+    #: worker launcher spec — ``local`` | ``ssh:host1,host2,...``
+    fleet_launcher: str = "local"
 
     #: workspace valve: retained managers per worker (``None`` = all)
     workspace_max_managers: Optional[int] = 8
@@ -439,6 +464,24 @@ class CampaignConfig:
                     f"{name} must be a path string or absent, "
                     f"got {value!r}"
                 )
+        if not _is_int(self.fleet_port) \
+                or not 0 <= self.fleet_port <= 65535:
+            raise ConfigError(
+                f"fleet_port must be an integer in 0..65535 "
+                f"(0 = ephemeral), got {self.fleet_port!r}"
+            )
+        for name in ("fleet_lease_timeout", "fleet_heartbeat_interval"):
+            value = getattr(self, name)
+            if not _is_number(value) or value <= 0:
+                raise ConfigError(
+                    f"{name} must be a positive number of seconds, "
+                    f"got {value!r}"
+                )
+        from .fleet import parse_launcher_spec
+        try:
+            parse_launcher_spec(self.fleet_launcher)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
         if self.scenario_seed is not None and (
                 not _is_int(self.scenario_seed) or self.scenario_seed < 0):
             raise ConfigError(
@@ -636,6 +679,7 @@ class CampaignConfig:
         from .executor import (
             ParallelExecutor, SerialExecutor, WorkStealingExecutor,
         )
+        from .fleet import FleetExecutor
         kind, processes = parse_executor_spec(self.executor)
         options = self.workspace_options()
         store_options = self.compile_store_options()
@@ -655,6 +699,20 @@ class CampaignConfig:
                                     store_options=store_options,
                                     share_sat=self.sat_workspace,
                                     sat_options=sat_options)
+        if kind == "fleet":
+            return FleetExecutor(workers=processes,
+                                 port=self.fleet_port,
+                                 lease_timeout=self.fleet_lease_timeout,
+                                 heartbeat_interval=
+                                 self.fleet_heartbeat_interval,
+                                 launcher=self.fleet_launcher,
+                                 scheduling=self.build_scheduling(),
+                                 share_bdd=self.share_bdd,
+                                 workspace_options=options,
+                                 compile_store=self.compile_store,
+                                 store_options=store_options,
+                                 share_sat=self.sat_workspace,
+                                 sat_options=sat_options)
         return WorkStealingExecutor(processes=processes,
                                     share_bdd=self.share_bdd,
                                     workspace_options=options,
@@ -697,12 +755,18 @@ def _is_int(value: object) -> bool:
     return isinstance(value, int) and not isinstance(value, bool)
 
 
+def _is_number(value: object) -> bool:
+    """True for real ints and floats (bool excluded) — the fleet
+    timeout knobs accept either, like TOML does."""
+    return _is_int(value) or isinstance(value, float)
+
+
 def _toml_value(value: object) -> str:
-    """Render one config value as TOML (strings, booleans, integers,
+    """Render one config value as TOML (strings, booleans, numbers,
     and string lists are the whole value vocabulary)."""
     if isinstance(value, bool):
         return "true" if value else "false"
-    if isinstance(value, int):
+    if isinstance(value, (int, float)):
         return str(value)
     if isinstance(value, str):
         return json.dumps(value)

@@ -265,6 +265,7 @@ class CampaignOrchestrator:
         compile_stats_fn = getattr(self.executor, "compile_stats", None)
         sat_stats_fn = getattr(self.executor, "sat_stats", None)
         bdd_stats_fn = getattr(self.executor, "workspace_stats", None)
+        fleet_stats_fn = getattr(self.executor, "fleet_stats", None)
         report.stats = {
             "executor": self.executor.name,
             "engines": [config.method for config in self.engines],
@@ -290,6 +291,10 @@ class CampaignOrchestrator:
             # without the hook)
             "sat_workspace": sat_stats_fn() if sat_stats_fn else {},
             "bdd_workspace": bdd_stats_fn() if bdd_stats_fn else {},
+            # fleet transport bookkeeping (workers launched/lost,
+            # leases issued/re-issued, rejected results, per-worker job
+            # counts); empty dict = not a fleet executor
+            "fleet": fleet_stats_fn() if fleet_stats_fn else {},
             "jobs": plan.total_jobs,
             "cache_hits": len(cached_results),
             "cache_misses": len(to_run) if self.cache is not None else 0,

@@ -16,8 +16,8 @@ from repro.chip import ComponentChip
 from repro.core.campaign import FormalCampaign
 from repro.orchestrate import (
     CampaignConfig, CampaignOrchestrator, ConfigError, EngineConfig,
-    ParallelExecutor, SerialExecutor, WorkStealingExecutor,
-    parse_engines_spec, parse_executor_spec,
+    FleetExecutor, ParallelExecutor, SerialExecutor,
+    WorkStealingExecutor, parse_engines_spec, parse_executor_spec,
 )
 from repro.orchestrate.config import CONFIG_SCHEMA
 
@@ -49,6 +49,8 @@ class TestExecutorSpec:
             ("work-stealing", 2)
         assert parse_executor_spec("work-stealing:2") == \
             ("work-stealing", 2)
+        assert parse_executor_spec("fleet") == ("fleet", None)
+        assert parse_executor_spec("fleet:4") == ("fleet", 4)
 
     @pytest.mark.parametrize("bad", [
         "quantum", "serial:2", "parallel:0", "parallel:-1",
@@ -100,6 +102,8 @@ FULL = dict(
     compile_max_problems=9,
     cache_path="cache.json", cache_max_entries=50,
     checkpoint_path="campaign.journal",
+    fleet_port=5555, fleet_lease_timeout=12.5,
+    fleet_heartbeat_interval=0.25, fleet_launcher="ssh:riga,tallinn",
 )
 
 
@@ -162,6 +166,8 @@ class TestDigest:
             compile_store=True, compile_max_designs=4,
             compile_max_problems=10, cache_path="other.json",
             cache_max_entries=51, checkpoint_path="other.journal",
+            fleet_port=5556, fleet_lease_timeout=13.5,
+            fleet_heartbeat_interval=0.35, fleet_launcher="local",
         )
         for field in FULL:
             variant = dataclasses.replace(base, **{field: changed[field]})
@@ -200,6 +206,14 @@ class TestStrictness:
         (dict(cache_path=7), "cache_path"),
         (dict(blocks=("A", 3)), "blocks"),
         (dict(blocks="CE"), "bare string"),
+        (dict(fleet_port=-1), "fleet_port"),
+        (dict(fleet_port=70_000), "fleet_port"),
+        (dict(fleet_port="x"), "fleet_port"),
+        (dict(fleet_lease_timeout=0), "fleet_lease_timeout"),
+        (dict(fleet_heartbeat_interval=-1.0),
+         "fleet_heartbeat_interval"),
+        (dict(fleet_launcher="rsh:a"), "launcher"),
+        (dict(fleet_launcher="ssh:"), "launcher"),
     ])
     def test_bad_values_rejected(self, kwargs, match):
         with pytest.raises(ConfigError, match=match):
@@ -245,6 +259,16 @@ class TestBuilders:
         assert isinstance(stealing, WorkStealingExecutor)
         assert stealing.processes == 2
         assert stealing.scheduling.name == "module-affinity"
+        fleet = _config(executor="fleet:2", fleet_port=7777,
+                        fleet_lease_timeout=12.5,
+                        fleet_heartbeat_interval=0.25,
+                        scheduling="module-affinity").build_executor()
+        assert isinstance(fleet, FleetExecutor)
+        assert fleet.workers == 2
+        assert fleet.port == 7777
+        assert fleet.lease_timeout == 12.5
+        assert fleet.heartbeat_interval == 0.25
+        assert fleet.scheduling.name == "module-affinity"
 
     def test_share_bdd_default_on_with_escape_hatch(self):
         """The campaign default is shared BDD workspaces; the config

@@ -16,8 +16,9 @@ import pytest
 
 from repro.chip import ComponentChip
 from repro.orchestrate import (
-    CampaignOrchestrator, EngineConfig, ModuleAffinityScheduling,
-    ParallelExecutor, SerialExecutor, WorkStealingExecutor, plan_campaign,
+    CampaignOrchestrator, EngineConfig, FleetExecutor,
+    ModuleAffinityScheduling, ParallelExecutor, SerialExecutor,
+    WorkStealingExecutor, plan_campaign,
 )
 
 
@@ -64,6 +65,17 @@ EXECUTORS = [
     pytest.param(lambda: SerialExecutor(
         share_sat=True, sat_options={"max_sessions": 1}),
         id="serial-satspace-thrash"),
+    # socket-fanout fleet: the same contract over a TCP transport —
+    # leases, heartbeats, and the portable job wire format instead of
+    # pickled pool queues
+    pytest.param(lambda: FleetExecutor(workers=2),
+                 id="fleet"),
+    pytest.param(lambda: FleetExecutor(
+        workers=2, scheduling=ModuleAffinityScheduling()),
+        id="fleet-affinity"),
+    pytest.param(lambda: FleetExecutor(
+        workers=2, share_sat=True, share_bdd=True),
+        id="fleet-warm"),
 ]
 
 parametrized = pytest.mark.parametrize("make_executor", EXECUTORS)
