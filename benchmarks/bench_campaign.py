@@ -92,6 +92,9 @@ from repro.orchestrate import (                           # noqa: E402
     EngineConfig, ParallelExecutor, ResultCache, SerialExecutor,
     WorkStealingExecutor,
 )
+from repro.orchestrate.stats import (                     # noqa: E402
+    STATS_SCHEMA, counter_groups,
+)
 
 OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_campaign.json"
 
@@ -668,6 +671,7 @@ def main():
         out_path.parent.mkdir(exist_ok=True)
         out_path.write_text(json.dumps(
             {"benchmark": "campaign_smoke",
+             "stats_schema": STATS_SCHEMA,
              "host": _host_topology(workers),
              "compile_store": record,
              "sat_workspace": sat_record}, indent=2) + "\n")
@@ -767,6 +771,7 @@ def main():
 
     record = {
         "benchmark": "campaign_orchestrator",
+        "stats_schema": STATS_SCHEMA,
         "scope": scope,
         "properties": serial_report.total_properties,
         "host": _host_topology(workers),
@@ -802,6 +807,9 @@ def main():
         },
         "tables_identical": tables_identical,
         "outcomes_identical": outcomes_identical,
+        # the serial run's counters in the one versioned shape the CLI
+        # --stats printer and the service /metrics endpoint also serve
+        "counter_groups": counter_groups(serial_report.stats),
         "shared_workspace": workspace_record,
         "adaptive_portfolio": adaptive_record,
         "compile_store": compile_record,

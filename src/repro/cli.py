@@ -8,6 +8,8 @@ One TOML file reproduces one campaign::
     python -m repro scenario sweep  --config scenario.toml
     python -m repro fleet worker    --config campaign.toml \\
         --connect HOST:PORT --token TOKEN
+    python -m repro serve           --config campaign.toml
+    python -m repro submit          --config campaign.toml --watch
 
 - ``run`` executes the configured campaign over the component chip
   (``[campaign] blocks`` selects the block subset) and prints the
@@ -29,7 +31,20 @@ One TOML file reproduces one campaign::
   it re-derives the plan from the (identical) config file, dials the
   coordinator, and serves leases until shutdown.  The ssh launcher
   runs this command on remote hosts; it is not normally typed by hand
-  (see ``docs/architecture.md``).
+  (see ``docs/architecture.md``);
+- ``serve`` runs the verification-as-a-service daemon
+  (:mod:`repro.service`): an HTTP API over a shared SQLite verdict
+  database, configured by the ``[service]`` section (see
+  ``docs/service.md``).  ``--import-cache`` migrates existing
+  per-campaign ``ResultCache`` JSON files into the database first;
+- ``submit`` posts the config to a running daemon and waits for (or
+  ``--watch`` streams) the result.  Exit codes mirror ``campaign
+  run``: 0 all passed, 1 any FAIL/TIMEOUT or a failed run, 2 on
+  config/connection errors.
+
+Every ``--config`` accepts a TOML path or ``preset:NAME``, resolving
+to the preset library ``examples/presets/NAME.toml`` (``smoke`` |
+``nightly`` | ``full`` — see ``docs/configuration.md``).
 
 Every command takes ``--stats`` to additionally print the warm-state
 counter blocks — compile-store hit/miss/evict, SAT-workspace session
@@ -124,7 +139,71 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--token", required=True, metavar="TOKEN",
                         help="the coordinator's session token "
                              "(stray connections are refused)")
+    serve = commands.add_parser(
+        "serve",
+        help="run the verification-as-a-service daemon "
+             "(HTTP API + shared verdict database; see docs/service.md)",
+    )
+    serve.add_argument("--config", required=True, metavar="TOML",
+                       help="campaign config with an optional "
+                            "[service] section")
+    serve.add_argument("--host", default=None, metavar="HOST",
+                       help="bind address (overrides [service] host)")
+    serve.add_argument("--port", default=None, type=int, metavar="PORT",
+                       help="bind port (overrides [service] port; "
+                            "0 = ephemeral)")
+    serve.add_argument("--import-cache", action="append", default=[],
+                       metavar="JSON", dest="import_caches",
+                       help="migrate a per-campaign ResultCache JSON "
+                            "file into the verdict database before "
+                            "serving (repeatable)")
+    submit = commands.add_parser(
+        "submit",
+        help="submit the campaign config to a running service daemon "
+             "and wait for the verdict",
+    )
+    submit.add_argument("--config", required=True, metavar="TOML",
+                        help="campaign config to submit")
+    submit.add_argument("--url", default=None, metavar="URL",
+                        help="the daemon's address (default: derived "
+                             "from the config's [service] section)")
+    submit.add_argument("--tenant", default="default", metavar="NAME",
+                        help="metering tenant for /metrics")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream one line per checked property "
+                             "while the campaign runs")
+    submit.add_argument("--timeout", default=600.0, type=float,
+                        metavar="SECS",
+                        help="give up waiting after this long "
+                             "(default: 600)")
     return parser
+
+
+#: ``--config preset:NAME`` resolves into this library directory
+PRESET_NAMES = ("smoke", "nightly", "full")
+
+
+def resolve_config_path(spec: str) -> str:
+    """A ``--config`` value: a TOML path, or ``preset:NAME`` resolving
+    to the preset library ``examples/presets/NAME.toml``."""
+    if not spec.startswith("preset:"):
+        return spec
+    import os
+    name = spec[len("preset:"):]
+    if name not in PRESET_NAMES:
+        raise ConfigError(
+            f"unknown preset {name!r}; available presets: "
+            f"{', '.join(PRESET_NAMES)}"
+        )
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    path = os.path.join(root, "examples", "presets", f"{name}.toml")
+    if not os.path.exists(path):
+        raise ConfigError(
+            f"preset {name!r} expected at {path} — presets ship with "
+            f"the repository checkout, not the installed package"
+        )
+    return path
 
 
 def _print_counters(title: str, counters: dict, indent: str = "  ") -> None:
@@ -178,16 +257,12 @@ def _run(config: CampaignConfig, resume: bool, progress: bool,
         print(f"engine attempts: {attempts} "
               f"({stats['portfolio_reordered']} reordered by policy)")
     if show_stats:
-        print("warm-state counters:")
-        compile_store = stats.get("compile_store") or {}
-        _print_counters("compile store (run)",
-                        compile_store.get("run") or {})
-        _print_counters("compile store (replay)",
-                        compile_store.get("replay") or {})
-        _print_counters("sat workspace",
-                        stats.get("sat_workspace") or {})
-        _print_counters("bdd workspace",
-                        stats.get("bdd_workspace") or {})
+        # the versioned counter schema — the same groups /metrics and
+        # the benchmark records serve (see repro.orchestrate.stats)
+        from .orchestrate.stats import counter_groups
+        print(f"counters ({stats.get('stats_schema', 'unversioned')}):")
+        for group, counters in counter_groups(stats).items():
+            _print_counters(group, counters)
     print(f"config digest:  {stats['config_digest']}")
     # gate CI on the verification outcome, like the benchmarks do:
     # a campaign that surfaced a FAIL (or starved into TIMEOUT) must
@@ -299,13 +374,84 @@ def _sweep(config: CampaignConfig, record_path: Optional[str],
     return 0 if not detection["survivors"] and agreed else 1
 
 
+def _serve(config: CampaignConfig, host: Optional[str],
+           port: Optional[int], import_caches: List[str]) -> int:
+    """Run the service daemon in the foreground until interrupted."""
+    from .service import ServiceDaemon
+
+    daemon = ServiceDaemon(config, host=host, port=port)
+    for cache_path in import_caches:
+        imported = daemon.db.import_cache(cache_path)
+        print(f"imported {imported} verdicts from {cache_path}")
+    print(f"verdict db:     {daemon.db.path} "
+          f"({len(daemon.db)} verdicts)")
+    print(f"serving on:     {daemon.url}")
+    print(f"config digest:  {config.digest()}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.close()
+    return 0
+
+
+def _submit(config: CampaignConfig, url: Optional[str], tenant: str,
+            watch: bool, timeout: float) -> int:
+    """Submit to a running daemon; exit codes mirror ``campaign run``."""
+    from .service import DEFAULT_HOST, DEFAULT_PORT, ServiceClient, \
+        ServiceError
+
+    if url is None:
+        host = config.service_host or DEFAULT_HOST
+        port = config.service_port or DEFAULT_PORT
+        url = f"http://{host}:{port}"
+    client = ServiceClient(url)
+    try:
+        ticket = client.submit(config, tenant=tenant)
+        print(f"campaign:       {ticket['id']} "
+              f"({'deduped onto in-flight run' if ticket['deduped'] else 'accepted'})")
+        if watch:
+            status = None
+            for message in client.watch(ticket["id"]):
+                if "event" in message:
+                    print(message["event"])
+                else:
+                    status = message["status"]
+            if status is None:
+                status = client.status(ticket["id"])
+        else:
+            status = client.wait(ticket["id"], timeout=timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if status["state"] != "done":
+        print(f"error: campaign {status['state']}: "
+              f"{status.get('error', 'unknown failure')}",
+              file=sys.stderr)
+        return 1
+    print(f"verdict:        "
+          f"{'all passed' if status['all_passed'] else 'FAILURES'} "
+          f"({status['jobs']} jobs: {status['executed']} executed, "
+          f"{status['verdict_hits']} verdict hits, "
+          f"{status['journal_replayed']} journal-replayed)")
+    print(f"config digest:  {status['config_digest']}")
+    return 0 if status["all_passed"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
-        config = CampaignConfig.load(args.config)
+        config = CampaignConfig.load(resolve_config_path(args.config))
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.command == "serve":
+        return _serve(config, host=args.host, port=args.port,
+                      import_caches=args.import_caches)
+    if args.command == "submit":
+        return _submit(config, url=args.url, tenant=args.tenant,
+                       watch=args.watch, timeout=args.timeout)
     if args.command == "fleet":
         import os
 

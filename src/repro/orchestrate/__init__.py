@@ -174,6 +174,7 @@ from .policy import (
     PortfolioPolicy, SchedulingPolicy, StaticPortfolio,
     portfolio_policy, scheduling_policy,
 )
+from .stats import STATS_SCHEMA, counter_groups
 from .orchestrator import CampaignOrchestrator
 
 __all__ = [
@@ -192,5 +193,6 @@ __all__ = [
     "AdaptivePortfolio", "FifoScheduling", "ModuleAffinityScheduling",
     "PortfolioPolicy", "SchedulingPolicy", "StaticPortfolio",
     "portfolio_policy", "scheduling_policy",
+    "STATS_SCHEMA", "counter_groups",
     "CampaignOrchestrator",
 ]

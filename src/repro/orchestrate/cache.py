@@ -41,7 +41,11 @@ completed rename, and neither can clobber the other's final round (the
 pre-lock race both renames could lose).  Two concurrent campaigns
 sharing one cache path therefore both keep their fresh verdicts
 whatever order their flushes land in; the store on disk is always one
-writer's complete, valid JSON.  (On platforms without ``fcntl`` the
+writer's complete, valid JSON.  The sidecar itself is removed after a
+successful flush (under the held lock, with an inode re-check on
+acquisition so rivals never trust a lock on an unlinked file) — stale
+sidecars left by a killed flush are tolerated and cleaned up by the
+next one.  (On platforms without ``fcntl`` the
 lock degrades to the unlocked merge — still safe for sequential and
 overlapped campaigns, vulnerable only to the simultaneous-rename
 race.)  The one exception to the union: entries this cache evicted as
@@ -199,16 +203,53 @@ class ResultCache:
         so threads sharing a process and campaigns in separate
         processes serialize alike.  Degrades to no locking where
         ``fcntl`` does not exist.
+
+        The sidecar is debris the campaign's owner should never have to
+        clean up, so a successful flush removes it — *while still
+        holding the lock*, which makes the unlink safe: a rival that
+        opened the old path before the unlink acquires a lock on a
+        dead inode, detects that (the on-disk stat no longer matches
+        its handle) and retries on the fresh file.  A flush that dies
+        mid-write leaves the sidecar behind; the next flush locks the
+        stale file and cleans it up in turn, so pre-existing debris is
+        tolerated, not fatal.
         """
         if fcntl is None:
             yield
             return
-        with open(f"{self.path}.lock", "a+") as lock_handle:
-            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+        lock_path = f"{self.path}.lock"
+        while True:
+            lock_handle = open(lock_path, "a+")
             try:
-                yield
-            finally:
-                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    on_disk = os.stat(lock_path)
+                except OSError:
+                    # unlinked by the rival we just waited on — this
+                    # lock guards a dead inode, take a fresh one
+                    lock_handle.close()
+                    continue
+                held = os.fstat(lock_handle.fileno())
+                if (on_disk.st_ino, on_disk.st_dev) != \
+                        (held.st_ino, held.st_dev):
+                    lock_handle.close()
+                    continue
+                break
+            except BaseException:
+                lock_handle.close()
+                raise
+        try:
+            yield
+            # success: remove the sidecar under the held lock (rivals
+            # blocked on this inode re-check and retry, see above); a
+            # racing unlink losing to a rival's is equally fine
+            try:
+                os.unlink(lock_path)
+            except OSError:
+                pass
+        finally:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+            lock_handle.close()
 
     def _merge(self, disk: Dict[str, dict],
                ours: Dict[str, dict]) -> Dict[str, dict]:

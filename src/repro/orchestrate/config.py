@@ -237,6 +237,12 @@ CONFIG_SCHEMA: Dict[str, Dict[str, str]] = {
         "triage": "scenario_triage",
         "sim_cycles": "scenario_sim_cycles",
     },
+    "service": {
+        "host": "service_host",
+        "port": "service_port",
+        "db": "service_db",
+        "data_dir": "service_data_dir",
+    },
     "cache": {
         "path": "cache_path",
         "max_entries": "cache_max_entries",
@@ -367,6 +373,21 @@ class CampaignConfig:
     scenario_triage: Optional[bool] = None
     #: random-simulation budget per mutant in triage mode
     scenario_sim_cycles: Optional[int] = None
+
+    #: ``[service]`` — the verification-as-a-service daemon's knobs
+    #: (``python -m repro serve``; see :mod:`repro.service` and
+    #: ``docs/service.md``).  All default to ``None`` ("absent": the
+    #: service layer supplies its own defaults), so configs written
+    #: before the section existed keep their digests
+    #: daemon bind host (service default: 127.0.0.1)
+    service_host: Optional[str] = None
+    #: daemon bind port (service default: 8357; 0 = ephemeral)
+    service_port: Optional[int] = None
+    #: verdict-database path (service default: <data_dir>/verdicts.sqlite)
+    service_db: Optional[str] = None
+    #: served-campaign state directory — journals live here
+    #: (service default: out/service)
+    service_data_dir: Optional[str] = None
 
     #: result-cache path (``None`` = no cache)
     cache_path: Optional[str] = None
@@ -503,6 +524,21 @@ class CampaignConfig:
             raise ConfigError(
                 f"scenario_triage must be a boolean or absent, "
                 f"got {self.scenario_triage!r}"
+            )
+        for name in ("service_host", "service_db", "service_data_dir"):
+            value = getattr(self, name)
+            if value is not None and not (isinstance(value, str)
+                                          and value):
+                raise ConfigError(
+                    f"{name} must be a non-empty string or absent, "
+                    f"got {value!r}"
+                )
+        if self.service_port is not None and (
+                not _is_int(self.service_port)
+                or not 0 <= self.service_port <= 65535):
+            raise ConfigError(
+                f"service_port must be an integer in 0..65535 "
+                f"(0 = ephemeral) or absent, got {self.service_port!r}"
             )
         if self.scenario_classes is not None:
             if isinstance(self.scenario_classes, str):

@@ -43,6 +43,7 @@ from .checkpoint import CampaignCheckpoint, plan_digest
 from .config import CampaignConfig
 from .job import CheckJob, EngineConfig
 from .planner import Blocks, CampaignPlan, plan_campaign
+from .stats import STATS_SCHEMA
 
 Progress = Optional[Callable[[str], None]]
 
@@ -267,6 +268,10 @@ class CampaignOrchestrator:
         bdd_stats_fn = getattr(self.executor, "workspace_stats", None)
         fleet_stats_fn = getattr(self.executor, "fleet_stats", None)
         report.stats = {
+            # every record embedding these counters (CLI --stats, the
+            # benchmark JSON, the service /metrics endpoint) names the
+            # shape it speaks — see repro.orchestrate.stats
+            "stats_schema": STATS_SCHEMA,
             "executor": self.executor.name,
             "engines": [config.method for config in self.engines],
             "config_digest": self.config.digest(),

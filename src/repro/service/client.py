@@ -1,0 +1,133 @@
+"""The bridge client — how anything outside the daemon's process talks
+to it.
+
+:class:`ServiceClient` wraps the JSON API in plain methods over
+stdlib ``urllib``; it is what ``python -m repro submit`` uses, what the
+CI smoke job drives, and the reference for writing clients in other
+languages (the wire format is just JSON over HTTP — see
+``docs/service.md``).  HTTP-level failures surface as
+:class:`ServiceError` carrying the status code and the server's
+``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, Optional
+
+from ..orchestrate.config import CampaignConfig
+
+
+class ServiceError(RuntimeError):
+    """An API call the server refused (4xx/5xx) or could not reach."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """A connection to one service daemon, e.g.
+    ``ServiceClient("http://127.0.0.1:8357")``."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None,
+                 timeout: Optional[float] = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                    request,
+                    timeout=self.timeout if timeout is None
+                    else timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+
+    # -- API -----------------------------------------------------------
+    def submit(self, config: CampaignConfig,
+               tenant: str = "default") -> dict:
+        """``POST /v1/campaigns`` — returns the 202 payload
+        (``id``, ``deduped``, ``state``, ``config_digest``)."""
+        return self._request("POST", "/v1/campaigns", {
+            "config": config.to_dict(), "tenant": tenant,
+        })
+
+    def status(self, campaign_id: str,
+               wait: Optional[float] = None) -> dict:
+        """``GET /v1/campaigns/<id>`` — the status snapshot;
+        ``wait`` long-polls that many seconds for completion."""
+        path = f"/v1/campaigns/{campaign_id}"
+        timeout = None
+        if wait is not None:
+            path += f"?wait={wait}"
+            timeout = wait + self.timeout
+        return self._request("GET", path, timeout=timeout)
+
+    def wait(self, campaign_id: str, timeout: float = 600.0,
+             poll: float = 30.0) -> dict:
+        """Long-poll until the campaign settles (``done``/``error``)
+        or ``timeout`` elapses; returns the final snapshot."""
+        import time
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"campaign {campaign_id} still "
+                    f"running after {timeout:.0f}s")
+            snapshot = self.status(campaign_id,
+                                   wait=min(poll, remaining))
+            if snapshot["state"] in ("done", "error"):
+                return snapshot
+
+    def watch(self, campaign_id: str) -> Iterator[dict]:
+        """``GET /v1/campaigns/<id>?watch=1`` — yield the NDJSON
+        stream: ``{"event": ...}`` lines, then one ``{"status": ...}``."""
+        request = urllib.request.Request(
+            f"{self.url}/v1/campaigns/{campaign_id}?watch=1",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(str(exc), status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+
+    def verdict(self, fingerprint: str) -> dict:
+        """``GET /v1/verdicts/<fingerprint>`` — raw provenance row."""
+        return self._request("GET", f"/v1/verdicts/{fingerprint}")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, object]:
+        return self._request("GET", "/metrics")

@@ -1,0 +1,344 @@
+"""The shared verdict database — SQLite-backed, fingerprint-keyed.
+
+:class:`VerdictDatabase` is the server-grade successor of the
+per-campaign JSON :class:`~repro.orchestrate.cache.ResultCache`: one
+WAL-mode SQLite file shared by every campaign the service daemon runs,
+keyed by the same :func:`~repro.orchestrate.job.job_fingerprint`
+content hashes and speaking the same serialized-:class:`CheckResult`
+dialect (:func:`~repro.orchestrate.job.encode_result` /
+:func:`decode_result`).  Because the interface matches the cache's —
+``store`` / ``lookup`` / ``flush`` / ``__contains__`` /
+``engine_history`` — the database drops straight into
+``CampaignOrchestrator(cache=...)``: the orchestrator's partition
+logic, the adaptive portfolio policy, and the FAIL-must-replay decode
+path all run unchanged against the shared store.
+
+What changes versus the JSON cache:
+
+- **Durability per verdict, not per flush.**  Every ``store`` is its
+  own committed transaction (WAL journal), so a daemon SIGKILL loses
+  at most the verdict in flight — the flush-merge/flock machinery the
+  JSON store needs is simply not required, and ``flush()`` is a WAL
+  checkpoint.
+- **Provenance is queryable.**  Module, category, engine, status, and
+  the ``stored_at`` stamp are real columns next to the entry payload,
+  which is what ``GET /v1/verdicts/<fingerprint>`` serves.
+- **Concurrent readers.**  One connection, guarded by a lock, shared
+  by the submission queue's worker and the HTTP handler threads.
+
+The safety rules are the cache's, verbatim: the schema version *and*
+the ``repro`` package version are pinned in a ``meta`` table and the
+store is discarded wholesale on mismatch; an unreadable database file
+is deleted and recreated (degrade to miss, never a wrong verdict); a
+cached FAIL must replay its counterexample against freshly compiled
+RTL on every hit or the row is evicted.
+
+:meth:`import_cache` migrates an existing ``ResultCache`` JSON file
+into the database (newest verdict per fingerprint wins), so a fleet of
+per-campaign caches consolidates into one service store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from .. import __version__
+from ..formal.engine import CheckResult
+from ..orchestrate.cache import ResultCache, _stored_at, _winning_method
+from ..orchestrate.job import CheckJob, decode_result, encode_result
+
+
+class VerdictDatabase:
+    """SQLite store of check verdicts keyed by content fingerprint.
+
+    Drop-in for :class:`~repro.orchestrate.cache.ResultCache` wherever
+    the orchestrator consumes one; additionally serves raw provenance
+    rows (:meth:`get`) and metering counters (:meth:`stats`) to the
+    service API layer.
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn: Optional[sqlite3.Connection] = None
+        #: metering counters served by /metrics
+        self._counters = {
+            "hits": 0, "misses": 0, "stored": 0, "unsafe_evicted": 0,
+            "imported": 0, "resets": 0,
+        }
+        self._open()
+
+    # -- connection / schema -------------------------------------------
+    def _open(self) -> None:
+        """Open (or recover) the database; corruption and version
+        mismatches degrade to an empty store, never a wrong verdict."""
+        try:
+            self._connect()
+        except sqlite3.Error:
+            self._reset()
+
+    def _connect(self) -> None:
+        # autocommit (isolation_level=None): every store is durable on
+        # its own, which is what makes a daemon SIGKILL lose at most
+        # the verdict in flight
+        conn = sqlite3.connect(self.path, check_same_thread=False,
+                               isolation_level=None)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta ("
+            " key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS verdicts ("
+            " fingerprint TEXT PRIMARY KEY,"
+            " entry TEXT NOT NULL,"       # encode_result payload (JSON)
+            " module TEXT,"
+            " category TEXT,"
+            " engine TEXT,"
+            " status TEXT,"
+            " stored_at REAL NOT NULL)"
+        )
+        rows = dict(conn.execute("SELECT key, value FROM meta"))
+        expected = {"schema": str(self.SCHEMA_VERSION),
+                    "repro_version": __version__}
+        if rows != expected:
+            if rows:
+                # written by another schema or package version — the
+                # fingerprint covers engine configuration, not engine
+                # implementation, so the verdicts cannot be trusted
+                self._counters["resets"] += 1
+            conn.execute("DELETE FROM verdicts")
+            conn.execute("DELETE FROM meta")
+            conn.executemany(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                sorted(expected.items()),
+            )
+        # surface latent page corruption now, not on first lookup
+        conn.execute("SELECT COUNT(*) FROM verdicts").fetchone()
+        self._conn = conn
+
+    def _reset(self) -> None:
+        """Delete the database files and start empty (degrade to
+        miss) — the recovery path for any unreadable store."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.remove(self.path + suffix)
+            except OSError:
+                pass
+        self._counters["resets"] += 1
+        self._connect()
+
+    def _execute(self, sql: str, params: Tuple = ()):
+        """Run one statement under the lock; a corrupt database heals
+        itself to empty and the statement re-runs against the fresh
+        store."""
+        with self._lock:
+            try:
+                return self._conn.execute(sql, params)
+            except sqlite3.DatabaseError:
+                self._reset()
+                return self._conn.execute(sql, params)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    # -- the ResultCache interface -------------------------------------
+    def __len__(self) -> int:
+        return self._execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+
+    def __contains__(self, fingerprint: str) -> bool:
+        row = self._execute(
+            "SELECT 1 FROM verdicts WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        return row is not None
+
+    def store(self, fingerprint: str, result: CheckResult,
+              job: Optional[CheckJob] = None) -> None:
+        """Record one verdict (trace frames included for FAIL),
+        committed immediately.  Same entry shape as the JSON cache —
+        ``stored_at`` stamp plus module/category provenance when the
+        producing ``job`` is given."""
+        entry = encode_result(result)
+        entry["stored_at"] = time.time()
+        if job is not None:
+            entry["module"] = job.module.name
+            entry["category"] = job.category
+        self._insert(fingerprint, entry)
+        self._counters["stored"] += 1
+
+    def _insert(self, fingerprint: str, entry: dict) -> None:
+        self._execute(
+            "INSERT OR REPLACE INTO verdicts"
+            " (fingerprint, entry, module, category, engine, status,"
+            "  stored_at)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                fingerprint,
+                json.dumps(entry, default=repr),
+                entry.get("module"),
+                entry.get("category"),
+                entry.get("engine"),
+                entry.get("status"),
+                _stored_at(entry),
+            ),
+        )
+
+    def lookup(self, fingerprint: str, job: CheckJob,
+               store=None) -> Optional[CheckResult]:
+        """The cache's lookup contract: the stored verdict, or ``None``
+        when absent or not provably sound.  A FAIL hit recompiles the
+        assertion (``store`` amortises the compiles) and must replay
+        its counterexample; anything suspicious evicts the row and
+        degrades to a miss."""
+        row = self._execute(
+            "SELECT entry FROM verdicts WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            self._counters["misses"] += 1
+            return None
+        try:
+            entry = json.loads(row[0])
+            if not isinstance(entry, dict):
+                raise ValueError("verdict entry is not an object")
+            result = decode_result(entry, job, store)
+        except Exception:
+            # malformed row, unknown status, failed replay — evict and
+            # re-check, never a wrong verdict
+            self._execute(
+                "DELETE FROM verdicts WHERE fingerprint = ?",
+                (fingerprint,),
+            )
+            self._counters["unsafe_evicted"] += 1
+            self._counters["misses"] += 1
+            return None
+        self._counters["hits"] += 1
+        return result
+
+    def flush(self) -> None:
+        """Stores are already durable (autocommit + WAL); flush folds
+        the WAL back into the main database file so the store is one
+        self-contained file between campaigns."""
+        with self._lock:
+            try:
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.DatabaseError:
+                self._reset()
+
+    def engine_history(self) -> Dict[Tuple[Optional[str], str], str]:
+        """Historical winning engines for the adaptive portfolio
+        policy — same aggregation as the JSON cache's, scanned in
+        ``stored_at`` recency order so the newest verdict wins."""
+        history: Dict[Tuple[Optional[str], str], str] = {}
+        rows = self._execute(
+            "SELECT entry FROM verdicts ORDER BY stored_at ASC, "
+            "rowid ASC"
+        ).fetchall()
+        for (payload,) in rows:
+            try:
+                entry = json.loads(payload)
+            except ValueError:
+                continue
+            if not isinstance(entry, dict):
+                continue
+            method = _winning_method(entry)
+            if method is None:
+                continue
+            category = entry.get("category")
+            if not isinstance(category, str):
+                continue
+            history[(None, category)] = method
+            module = entry.get("module")
+            if isinstance(module, str):
+                history[(module, category)] = method
+        return history
+
+    # -- service extensions --------------------------------------------
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The raw stored verdict with provenance, as served by
+        ``GET /v1/verdicts/<fingerprint>`` — no replay validation (the
+        payload is data about the store, not a trusted verdict; a
+        campaign consuming it goes through :meth:`lookup`)."""
+        row = self._execute(
+            "SELECT entry, module, category, engine, status, stored_at"
+            " FROM verdicts WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            entry = json.loads(row[0])
+        except ValueError:
+            entry = None
+        return {
+            "fingerprint": fingerprint,
+            "module": row[1],
+            "category": row[2],
+            "engine": row[3],
+            "status": row[4],
+            "stored_at": row[5],
+            "entry": entry if isinstance(entry, dict) else None,
+        }
+
+    def import_cache(self, path: str) -> int:
+        """Migrate a :class:`ResultCache` JSON file into the database.
+
+        Entries land newest-verdict-wins: a fingerprint already present
+        keeps whichever side carries the later ``stored_at`` stamp.
+        Returns how many entries were imported; an unreadable file, or
+        one written by a different cache/package version, imports
+        nothing (the cache's own wholesale-discard rule).
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(raw, dict) \
+                or raw.get("version") != ResultCache.VERSION \
+                or raw.get("repro_version") != __version__:
+            return 0
+        entries = raw.get("entries")
+        if not isinstance(entries, dict):
+            return 0
+        imported = 0
+        for fingerprint, entry in entries.items():
+            if not isinstance(fingerprint, str) \
+                    or not isinstance(entry, dict):
+                continue
+            row = self._execute(
+                "SELECT stored_at FROM verdicts WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            if row is not None and row[0] >= _stored_at(entry):
+                continue
+            self._insert(fingerprint, entry)
+            imported += 1
+        self._counters["imported"] += imported
+        return imported
+
+    def stats(self) -> Dict[str, int]:
+        """Metering counters plus the live row count, for /metrics."""
+        counters = dict(self._counters)
+        counters["entries"] = len(self)
+        return counters

@@ -656,11 +656,57 @@ class TestConcurrentFlush:
             owner_counts[owner] = owner_counts.get(owner, 0) + 1
         assert max(owner_counts.values()) == rounds * 10
         assert len(ResultCache(path)) == len(entries)
-        # the flock sidecar is a deliberate artifact; temp files are not
+        # no litter: temp files never survive, and the flock sidecar
+        # is removed by whichever flush finishes last (a racing
+        # straggler may recreate it momentarily, but the final flush's
+        # unlink-under-lock wins — see ResultCache._flush_lock)
         leftovers = [p.name for p in tmp_path.iterdir()
-                     if p.name not in ("shared.json",
-                                       "shared.json.lock")]
+                     if p.name != "shared.json"]
         assert leftovers == []
+
+
+class TestFlushLockCleanup:
+    """The flush's flock sidecar must not accumulate as debris: a
+    successful flush removes it, and pre-existing (stale) sidecars are
+    tolerated and cleaned up in turn."""
+
+    def test_successful_flush_removes_the_lock_sidecar(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(path)
+        cache.store("fp", CheckResult("p", PASS, "kind"))
+        cache.flush()
+        assert pathlib.Path(path).exists()
+        assert not pathlib.Path(f"{path}.lock").exists()
+
+    def test_hits_only_flush_leaves_nothing_behind(self, tmp_path):
+        # a clean (not dirty) flush is a no-op: no store write, and no
+        # sidecar ever created
+        path = str(tmp_path / "cache.json")
+        ResultCache(path).flush()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_stale_lock_from_a_killed_flush_is_tolerated(self, tmp_path):
+        # a flush that died mid-write leaves the sidecar behind; the
+        # next flush must lock it, do its work, and clean it up
+        path = str(tmp_path / "cache.json")
+        stale = pathlib.Path(f"{path}.lock")
+        stale.write_text("")  # the debris a killed flush leaves
+        cache = ResultCache(path)
+        cache.store("fp", CheckResult("p", PASS, "kind"))
+        cache.flush()
+        assert not stale.exists()
+        assert "fp" in ResultCache(path)
+
+    def test_sequential_campaigns_never_accumulate_sidecars(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        for round_no in range(3):
+            cache = ResultCache(path)
+            cache.store(f"fp-{round_no}",
+                        CheckResult("p", PASS, "kind"))
+            cache.flush()
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            ["cache.json"]
+        assert len(ResultCache(path)) == 3
 
 
 class TestCacheMerge:

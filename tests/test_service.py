@@ -1,0 +1,709 @@
+"""Service-layer certification: verdict database, submission queue,
+HTTP API, and the daemon's crash story.
+
+The acceptance bar mirrors the executor/checkpoint suites: a campaign
+served through the daemon — cold, as a fully cache-hit re-submission,
+and with a mid-run daemon SIGKILL + restart resume — must produce
+``CampaignReport.canonical_bytes`` identical to a serial in-process
+run, the verdict database must degrade every kind of rot to a miss
+(never a wrong verdict), and two clients posting the same config must
+get one underlying job run.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.chip import ComponentChip
+from repro.core.report import format_table2
+from repro.orchestrate import CampaignOrchestrator, ResultCache
+from repro.orchestrate.config import CampaignConfig, ConfigError
+from repro.orchestrate.stats import STATS_SCHEMA, counter_groups
+from repro.service import (
+    CampaignQueue, ServiceClient, ServiceDaemon, ServiceError,
+    VerdictDatabase,
+)
+
+#: jobs in the tiny two-module plan; pinned by the reference fixture
+TOTAL_JOBS = 17
+
+
+def _tiny_blocks():
+    """Two modules of block C, one seeded defect — FAIL verdicts (with
+    traces that must re-validate on every hit) land in the store."""
+    chip = ComponentChip(defects={"B2"}, only_blocks=["C"])
+    return [("C", chip.blocks[0][1][:2])]
+
+
+def _service_blocks(config):
+    """blocks_provider for daemons under test: every config maps to
+    the tiny fixture scope (module-level so fork children can use it)."""
+    return _tiny_blocks()
+
+
+@pytest.fixture(scope="module")
+def tiny_blocks():
+    return _tiny_blocks()
+
+
+@pytest.fixture(scope="module")
+def reference(tiny_blocks):
+    """The serial in-process run every served campaign must reproduce
+    byte-for-byte (default config — the same one tests submit)."""
+    report = CampaignOrchestrator(tiny_blocks,
+                                  config=CampaignConfig()).run()
+    assert report.total_properties == TOTAL_JOBS
+    assert report.by_status("fail"), "fixture must produce FAILs"
+    return report
+
+
+def _db_campaign(blocks, db):
+    return CampaignOrchestrator(blocks, config=CampaignConfig(),
+                                cache=db).run()
+
+
+# ======================================================================
+# VerdictDatabase: the ResultCache contract against SQLite
+# ======================================================================
+
+class TestVerdictDatabase:
+    def test_campaign_through_db_is_byte_identical_and_then_all_hits(
+            self, tiny_blocks, reference, tmp_path):
+        db = VerdictDatabase(str(tmp_path / "verdicts.sqlite"))
+        cold = _db_campaign(tiny_blocks, db)
+        assert cold.canonical_bytes() == reference.canonical_bytes()
+        assert cold.stats["cache_misses"] == TOTAL_JOBS
+        assert len(db) == TOTAL_JOBS
+        warm = _db_campaign(tiny_blocks, db)
+        assert warm.canonical_bytes() == reference.canonical_bytes()
+        assert warm.stats["cache_misses"] == 0
+        assert warm.stats["cache_hits"] == TOTAL_JOBS
+        stats = db.stats()
+        assert stats["stored"] == TOTAL_JOBS
+        assert stats["hits"] == TOTAL_JOBS
+        assert stats["unsafe_evicted"] == 0
+
+    def test_survives_reopen(self, tiny_blocks, reference, tmp_path):
+        path = str(tmp_path / "verdicts.sqlite")
+        db = VerdictDatabase(path)
+        _db_campaign(tiny_blocks, db)
+        db.flush()
+        db.close()
+        warm = _db_campaign(tiny_blocks, VerdictDatabase(path))
+        assert warm.stats["cache_misses"] == 0
+        assert warm.canonical_bytes() == reference.canonical_bytes()
+
+    def test_provenance_row(self, tiny_blocks, tmp_path):
+        db = VerdictDatabase(str(tmp_path / "verdicts.sqlite"))
+        _db_campaign(tiny_blocks, db)
+        plan = CampaignOrchestrator(tiny_blocks,
+                                    config=CampaignConfig()).plan()
+        job = plan.jobs[0]
+        row = db.get(job.fingerprint)
+        assert row["fingerprint"] == job.fingerprint
+        assert row["module"] == job.module.name
+        assert row["category"] == job.category
+        assert row["status"] in ("pass", "fail", "timeout", "unknown")
+        assert isinstance(row["stored_at"], float)
+        assert isinstance(row["entry"], dict)
+        assert db.get("no-such-fingerprint") is None
+
+    def test_engine_history_matches_the_json_cache(self, tiny_blocks,
+                                                   tmp_path):
+        """The adaptive portfolio policy must see the same historical
+        winners whichever store backs it."""
+        db = VerdictDatabase(str(tmp_path / "verdicts.sqlite"))
+        cache = ResultCache(str(tmp_path / "cache.json"))
+        _db_campaign(tiny_blocks, db)
+        CampaignOrchestrator(tiny_blocks, config=CampaignConfig(),
+                             cache=cache).run()
+        history = db.engine_history()
+        assert history == cache.engine_history()
+        assert history, "fixture must produce definitive verdicts"
+
+    def test_import_cache_migrates_and_second_run_hits(
+            self, tiny_blocks, reference, tmp_path):
+        cache_path = str(tmp_path / "legacy-cache.json")
+        cache = ResultCache(cache_path)
+        CampaignOrchestrator(tiny_blocks, config=CampaignConfig(),
+                             cache=cache).run()
+        cache.flush()
+        db = VerdictDatabase(str(tmp_path / "verdicts.sqlite"))
+        assert db.import_cache(cache_path) == TOTAL_JOBS
+        assert len(db) == TOTAL_JOBS
+        served = _db_campaign(tiny_blocks, db)
+        assert served.stats["cache_misses"] == 0
+        assert served.canonical_bytes() == reference.canonical_bytes()
+        # importing again is idempotent: nothing on disk is newer
+        assert db.import_cache(cache_path) == 0
+
+    def test_import_rejects_rotten_or_foreign_caches(self, tmp_path):
+        db = VerdictDatabase(str(tmp_path / "verdicts.sqlite"))
+        missing = str(tmp_path / "nope.json")
+        assert db.import_cache(missing) == 0
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert db.import_cache(str(garbage)) == 0
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({
+            "version": ResultCache.VERSION,
+            "repro_version": "0.0.0-not-this-build",
+            "entries": {"fp": {"status": "pass"}},
+        }))
+        assert db.import_cache(str(foreign)) == 0
+        assert len(db) == 0
+
+
+# ======================================================================
+# Corruption matrix: every way the database can rot degrades to a
+# miss, scoped as tightly as the damage allows — mirroring the JSON
+# cache's matrix in test_orchestrate.py
+# ======================================================================
+
+def _db_truncate_half(path):
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+
+
+def _db_garbage_file(path):
+    path.write_bytes(b"this is not a sqlite database at all")
+
+
+def _db_wrong_repro_version(path):
+    conn = sqlite3.connect(str(path))
+    conn.execute("UPDATE meta SET value = '0.0.0-not-this-build' "
+                 "WHERE key = 'repro_version'")
+    conn.commit()
+    conn.close()
+
+
+def _db_wrong_schema_version(path):
+    conn = sqlite3.connect(str(path))
+    conn.execute("UPDATE meta SET value = '999' WHERE key = 'schema'")
+    conn.commit()
+    conn.close()
+
+
+def _db_fail_entries_empty_trace(path):
+    conn = sqlite3.connect(str(path))
+    rows = conn.execute(
+        "SELECT fingerprint, entry FROM verdicts WHERE status = 'fail'"
+    ).fetchall()
+    for fingerprint, payload in rows:
+        entry = json.loads(payload)
+        entry["trace"] = []
+        conn.execute("UPDATE verdicts SET entry = ? "
+                     "WHERE fingerprint = ?",
+                     (json.dumps(entry), fingerprint))
+    conn.commit()
+    conn.close()
+
+
+def _db_one_entry_garbage(path):
+    conn = sqlite3.connect(str(path))
+    conn.execute(
+        "UPDATE verdicts SET entry = 'Zzz not json' WHERE fingerprint ="
+        " (SELECT fingerprint FROM verdicts ORDER BY fingerprint"
+        "  LIMIT 1)")
+    conn.commit()
+    conn.close()
+
+
+#: (mutator, which entries must degrade to misses)
+DB_CORRUPTIONS = [
+    pytest.param(_db_truncate_half, "all", id="truncated-file"),
+    pytest.param(_db_garbage_file, "all", id="garbage-file"),
+    pytest.param(_db_wrong_repro_version, "all",
+                 id="wrong-repro-version"),
+    pytest.param(_db_wrong_schema_version, "all",
+                 id="wrong-schema-version"),
+    pytest.param(_db_fail_entries_empty_trace, "fails",
+                 id="fail-empty-trace"),
+    pytest.param(_db_one_entry_garbage, "one", id="non-json-entry"),
+]
+
+
+class TestVerdictDbCorruptionMatrix:
+    @pytest.mark.parametrize("mutate,scope", DB_CORRUPTIONS)
+    def test_corruption_degrades_to_miss_never_flips_verdict(
+            self, mutate, scope, tiny_blocks, tmp_path):
+        path = tmp_path / "verdicts.sqlite"
+        db = VerdictDatabase(str(path))
+        cold = _db_campaign(tiny_blocks, db)
+        db.flush()  # fold the WAL so mutators see one whole file
+        db.close()
+        conn = sqlite3.connect(str(path))
+        fails = conn.execute("SELECT COUNT(*) FROM verdicts "
+                             "WHERE status = 'fail'").fetchone()[0]
+        conn.close()
+        assert fails > 0, "fixture must store FAIL verdicts"
+        mutate(path)
+        rerun_db = VerdictDatabase(str(path))
+        rerun = _db_campaign(tiny_blocks, rerun_db)
+        expected_misses = {
+            "all": TOTAL_JOBS, "fails": fails, "one": 1,
+        }[scope]
+        assert rerun.stats["cache_misses"] == expected_misses
+        assert rerun.stats["cache_hits"] == TOTAL_JOBS - expected_misses
+        assert [r.result.status for r in rerun.results] == \
+            [r.result.status for r in cold.results]
+        assert format_table2(rerun) == format_table2(cold)
+        if scope != "all":
+            assert rerun_db.stats()["unsafe_evicted"] == expected_misses
+        # the rerun healed the store: a further run is all hits
+        healed = _db_campaign(tiny_blocks, VerdictDatabase(str(path)))
+        assert healed.stats["cache_misses"] == 0
+
+
+# ======================================================================
+# Submission queue: in-flight dedup, one run for N clients
+# ======================================================================
+
+class TestCampaignQueue:
+    def test_duplicate_inflight_submissions_share_one_run(
+            self, reference, tmp_path):
+        db = VerdictDatabase(str(tmp_path / "verdicts.sqlite"))
+        queue = CampaignQueue(db, str(tmp_path / "svc"),
+                              blocks_provider=_service_blocks,
+                              throttle=0.05)
+        try:
+            config = CampaignConfig()
+            first, deduped_first = queue.submit(config, tenant="a")
+            second, deduped_second = queue.submit(config, tenant="b")
+            assert not deduped_first
+            assert deduped_second
+            assert second is first  # one run, two subscribers
+            assert first.finished.wait(timeout=120.0)
+            assert first.state == "done"
+            assert first.canonical == \
+                reference.canonical_bytes().decode("utf-8")
+            # one underlying job run — not one per client
+            assert first.executed == TOTAL_JOBS
+            assert db.stats()["stored"] == TOTAL_JOBS
+            metrics = queue.metrics()
+            assert metrics["totals"]["submissions"] == 2
+            assert metrics["totals"]["deduped"] == 1
+            assert metrics["totals"]["jobs_executed"] == TOTAL_JOBS
+        finally:
+            queue.close()
+            db.close()
+
+    def test_distinct_configs_queue_separately(self, tmp_path):
+        db = VerdictDatabase(str(tmp_path / "verdicts.sqlite"))
+        queue = CampaignQueue(db, str(tmp_path / "svc"),
+                              blocks_provider=_service_blocks,
+                              throttle=0.05)
+        try:
+            first, _ = queue.submit(CampaignConfig())
+            second, deduped = queue.submit(
+                CampaignConfig(engines="auto"))
+            assert not deduped
+            assert second is not first
+            assert first.finished.wait(timeout=120.0)
+            assert second.finished.wait(timeout=120.0)
+            assert {first.state, second.state} == {"done"}
+        finally:
+            queue.close()
+            db.close()
+
+    def test_completed_run_resubmission_is_all_verdict_hits(
+            self, reference, tmp_path):
+        db = VerdictDatabase(str(tmp_path / "verdicts.sqlite"))
+        queue = CampaignQueue(db, str(tmp_path / "svc"),
+                              blocks_provider=_service_blocks)
+        try:
+            config = CampaignConfig()
+            first, _ = queue.submit(config)
+            assert first.finished.wait(timeout=120.0)
+            # journal cleaned up: the campaign's truth lives in the db
+            assert not os.path.exists(queue.journal_path(config))
+            again, deduped = queue.submit(config)
+            assert not deduped  # first run already finished
+            assert again.finished.wait(timeout=120.0)
+            assert again.executed == 0
+            assert again.verdict_hits == TOTAL_JOBS
+            assert again.canonical == first.canonical == \
+                reference.canonical_bytes().decode("utf-8")
+        finally:
+            queue.close()
+            db.close()
+
+
+# ======================================================================
+# The HTTP boundary
+# ======================================================================
+
+@pytest.fixture()
+def daemon(tmp_path):
+    daemon = ServiceDaemon(
+        CampaignConfig(), port=0,
+        db_path=str(tmp_path / "verdicts.sqlite"),
+        data_dir=str(tmp_path / "svc"),
+        blocks_provider=_service_blocks,
+    ).start()
+    yield daemon
+    daemon.close()
+
+
+class TestServiceApi:
+    def test_healthz_and_metrics_schema(self, daemon):
+        client = ServiceClient(daemon.url)
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["verdicts"] == 0
+        metrics = client.metrics()
+        assert metrics["stats_schema"] == STATS_SCHEMA
+        assert metrics["queue"]["totals"] == {}
+        assert metrics["verdict_db"]["entries"] == 0
+
+    def test_cold_run_then_cache_hit_resubmission(self, daemon,
+                                                  reference):
+        client = ServiceClient(daemon.url)
+        config = CampaignConfig()
+        ticket = client.submit(config, tenant="alpha")
+        assert not ticket["deduped"]
+        assert ticket["config_digest"] == config.digest()
+        status = client.wait(ticket["id"], timeout=120.0)
+        assert status["state"] == "done"
+        assert status["stats_schema"] == STATS_SCHEMA
+        assert status["jobs"] == TOTAL_JOBS
+        assert status["executed"] == TOTAL_JOBS
+        assert status["verdict_hits"] == 0
+        # the acceptance bar: served bytes == serial in-process bytes
+        assert status["canonical"] == \
+            reference.canonical_bytes().decode("utf-8")
+        assert "orchestrator" in status["counter_groups"]
+
+        again = client.submit(config, tenant="beta")
+        final = client.wait(again["id"], timeout=120.0)
+        assert final["executed"] == 0
+        assert final["verdict_hits"] == TOTAL_JOBS
+        assert final["canonical"] == status["canonical"]
+        # /metrics must prove the re-submission ran zero jobs
+        metrics = client.metrics()
+        assert metrics["queue"]["tenants"]["beta"]["jobs_executed"] == 0
+        assert metrics["queue"]["tenants"]["beta"]["verdict_hits"] == \
+            TOTAL_JOBS
+        assert metrics["queue"]["tenants"]["alpha"]["jobs_executed"] \
+            == TOTAL_JOBS
+        assert metrics["verdict_db"]["entries"] == TOTAL_JOBS
+
+    def test_concurrent_duplicate_posts_one_underlying_run(
+            self, daemon, reference):
+        """Two clients racing the same config: one run id, one job
+        run, byte-identical reports on both sides."""
+        client = ServiceClient(daemon.url)
+        config = CampaignConfig()
+        tickets = [None, None]
+
+        def post(slot, tenant):
+            tickets[slot] = client.submit(config, tenant=tenant)
+
+        threads = [
+            threading.Thread(target=post, args=(slot, tenant))
+            for slot, tenant in ((0, "racer-a"), (1, "racer-b"))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tickets[0]["id"] == tickets[1]["id"]
+        assert sorted(t["deduped"] for t in tickets) == [False, True]
+        finals = [client.wait(t["id"], timeout=120.0) for t in tickets]
+        assert finals[0]["canonical"] == finals[1]["canonical"] == \
+            reference.canonical_bytes().decode("utf-8")
+        assert finals[0]["executed"] == TOTAL_JOBS
+        totals = client.metrics()["queue"]["totals"]
+        assert totals["submissions"] == 2
+        assert totals["deduped"] == 1
+        assert totals["jobs_executed"] == TOTAL_JOBS
+
+    def test_watch_streams_events_then_status(self, daemon):
+        client = ServiceClient(daemon.url)
+        ticket = client.submit(CampaignConfig())
+        events, status = [], None
+        for message in client.watch(ticket["id"]):
+            if "event" in message:
+                events.append(message["event"])
+            else:
+                status = message["status"]
+        assert status is not None and status["state"] == "done"
+        assert len(events) == TOTAL_JOBS  # one line per property
+        assert all(":" in line for line in events)
+
+    def test_verdict_endpoint_serves_provenance(self, daemon,
+                                                tiny_blocks):
+        client = ServiceClient(daemon.url)
+        ticket = client.submit(CampaignConfig())
+        client.wait(ticket["id"], timeout=120.0)
+        plan = CampaignOrchestrator(tiny_blocks,
+                                    config=CampaignConfig()).plan()
+        job = plan.jobs[0]
+        verdict = client.verdict(job.fingerprint)
+        assert verdict["module"] == job.module.name
+        assert verdict["category"] == job.category
+        with pytest.raises(ServiceError) as exc:
+            client.verdict("not-a-fingerprint")
+        assert exc.value.status == 404
+
+    def test_config_toml_submission(self, daemon):
+        config = CampaignConfig()
+        payload = {"config_toml": config.to_toml()}
+        import urllib.request
+        request = urllib.request.Request(
+            f"{daemon.url}/v1/campaigns",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json",
+                     "X-Tenant": "toml-tenant"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            ticket = json.loads(response.read())
+        assert ticket["config_digest"] == config.digest()
+        status = ServiceClient(daemon.url).wait(ticket["id"],
+                                                timeout=120.0)
+        assert status["state"] == "done"
+        assert status["tenant"] == "toml-tenant"
+
+    def test_api_errors(self, daemon):
+        client = ServiceClient(daemon.url)
+        with pytest.raises(ServiceError) as exc:
+            client.status("c999999-nope")
+        assert exc.value.status == 404
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/v1/campaigns",
+                            {"config": {"bogus_section": {}}})
+        assert exc.value.status == 400
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/v1/campaigns", {})
+        assert exc.value.status == 400
+        with pytest.raises(ServiceError) as exc:
+            client._request("GET", "/v2/nothing")
+        assert exc.value.status == 404
+        # an unreachable daemon is a ServiceError, not a traceback
+        dead = ServiceClient("http://127.0.0.1:9", timeout=2.0)
+        with pytest.raises(ServiceError):
+            dead.healthz()
+
+
+# ======================================================================
+# The crash story: SIGKILL the daemon mid-run, restart, resume
+# ======================================================================
+
+def _daemon_child(db_path, data_dir, port):
+    """Child process: a throttled daemon (~50 ms per property) so the
+    parent can land a SIGKILL mid-campaign."""
+    daemon = ServiceDaemon(
+        CampaignConfig(), host="127.0.0.1", port=port,
+        db_path=db_path, data_dir=data_dir,
+        blocks_provider=_service_blocks, throttle=0.05,
+    )
+    daemon.serve_forever()
+
+
+def _free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestDaemonKillResume:
+    def test_sigkilled_daemon_resumes_byte_identical(
+            self, reference, tmp_path):
+        """Kill the whole daemon process mid-campaign; a restarted
+        daemon on the same database and data dir, handed the same
+        config, must resume from the journal into the same bytes —
+        and a third submission must be a pure verdict-cache hit."""
+        db_path = str(tmp_path / "verdicts.sqlite")
+        data_dir = str(tmp_path / "svc")
+        port = _free_port()
+        context = multiprocessing.get_context("fork")
+        child = context.Process(target=_daemon_child,
+                                args=(db_path, data_dir, port))
+        child.start()
+        config = CampaignConfig()
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=5.0)
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                try:
+                    client.healthz()
+                    break
+                except ServiceError:
+                    time.sleep(0.05)
+            else:
+                pytest.fail("daemon child never came up")
+            ticket = client.submit(config)
+            journal = os.path.join(
+                data_dir, f"journal-{ticket['config_digest']}.jsonl")
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if os.path.exists(journal) and \
+                        len(open(journal).read().splitlines()) >= 5:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("served campaign never journaled entries")
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.join()
+
+        # restart on the same state, re-submit the same config
+        daemon = ServiceDaemon(
+            CampaignConfig(), port=0, db_path=db_path,
+            data_dir=data_dir, blocks_provider=_service_blocks,
+        ).start()
+        try:
+            survivor = ServiceClient(daemon.url)
+            resumed = survivor.submit(config)
+            status = survivor.wait(resumed["id"], timeout=120.0)
+            assert status["state"] == "done"
+            replayed = status["journal_replayed"]
+            assert 0 < replayed < TOTAL_JOBS
+            assert status["canonical"] == \
+                reference.canonical_bytes().decode("utf-8")
+            assert replayed + status["verdict_hits"] \
+                + status["executed"] == TOTAL_JOBS
+
+            # third submission: everything is in the verdict db now
+            third = survivor.submit(config)
+            final = survivor.wait(third["id"], timeout=120.0)
+            assert final["executed"] == 0
+            assert final["journal_replayed"] == 0
+            assert final["verdict_hits"] == TOTAL_JOBS
+            assert final["canonical"] == status["canonical"]
+            metrics = survivor.metrics()
+            assert metrics["queue"]["totals"]["verdict_hits"] >= \
+                TOTAL_JOBS
+        finally:
+            daemon.close()
+
+
+# ======================================================================
+# [service] config section
+# ======================================================================
+
+class TestServiceConfigSection:
+    def test_defaults_are_absent_and_unserialized(self):
+        config = CampaignConfig()
+        assert config.service_host is None
+        assert config.service_port is None
+        assert config.service_db is None
+        assert config.service_data_dir is None
+        # absent fields serialize to nothing: pre-service configs
+        # keep their digests
+        assert "service" not in config.to_dict()
+
+    def test_round_trip_and_digest(self):
+        config = CampaignConfig(service_host="0.0.0.0",
+                                service_port=9000,
+                                service_db="out/v.sqlite",
+                                service_data_dir="out/svc")
+        data = config.to_dict()
+        assert data["service"] == {
+            "host": "0.0.0.0", "port": 9000, "db": "out/v.sqlite",
+            "data_dir": "out/svc",
+        }
+        clone = CampaignConfig.from_toml(config.to_toml())
+        assert clone == config
+        assert clone.digest() == config.digest()
+        assert clone.digest() != CampaignConfig().digest()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"service_port": -1},
+        {"service_port": 65536},
+        {"service_port": "8357"},
+        {"service_host": ""},
+        {"service_host": 17},
+        {"service_db": 17},
+        {"service_data_dir": b"x"},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            CampaignConfig(**kwargs)
+
+    def test_daemon_resolves_section(self, tmp_path):
+        config = CampaignConfig(
+            service_host="127.0.0.1", service_port=0,
+            service_db=str(tmp_path / "custom.sqlite"),
+            service_data_dir=str(tmp_path / "state"),
+        )
+        daemon = ServiceDaemon(config,
+                               blocks_provider=_service_blocks)
+        try:
+            assert daemon.db.path == str(tmp_path / "custom.sqlite")
+            assert daemon.queue.data_dir == str(tmp_path / "state")
+            assert daemon.address[0] == "127.0.0.1"
+            assert daemon.address[1] > 0  # ephemeral port resolved
+        finally:
+            daemon.close()
+
+
+# ======================================================================
+# Presets and the stats schema
+# ======================================================================
+
+class TestPresets:
+    def test_every_preset_parses(self):
+        from repro.cli import PRESET_NAMES, resolve_config_path
+        for name in PRESET_NAMES:
+            path = resolve_config_path(f"preset:{name}")
+            assert os.path.exists(path)
+            CampaignConfig.load(path)  # must not raise
+
+    def test_plain_paths_pass_through(self):
+        from repro.cli import resolve_config_path
+        assert resolve_config_path("some/file.toml") == "some/file.toml"
+
+    def test_unknown_preset_is_a_config_error(self):
+        from repro.cli import resolve_config_path
+        with pytest.raises(ConfigError, match="unknown preset"):
+            resolve_config_path("preset:hourly")
+
+    def test_smoke_preset_is_the_fast_one(self):
+        from repro.cli import resolve_config_path
+        config = CampaignConfig.load(resolve_config_path("preset:smoke"))
+        assert config.executor == "serial"
+        assert config.blocks == ("C",)
+
+
+class TestStatsSchema:
+    def test_reports_carry_the_schema_stamp(self, reference):
+        assert reference.stats["stats_schema"] == STATS_SCHEMA
+
+    def test_counter_groups_shape(self, reference):
+        groups = counter_groups(reference.stats)
+        assert groups["orchestrator"]["jobs"] == TOTAL_JOBS
+        assert "engine_attempts" in groups
+        assert "compile_store_run" in groups
+        for counters in groups.values():
+            assert all(isinstance(v, int) and not isinstance(v, bool)
+                       for v in counters.values())
+
+    def test_tolerates_foreign_shapes(self):
+        assert counter_groups({}) == {}
+        assert counter_groups({"fleet": "not-a-dict",
+                               "jobs": "many"}) == {}
+
+
+class TestCliSubmit:
+    def test_submit_exit_code_mirrors_campaign_run(self, daemon,
+                                                   tmp_path, capsys):
+        from repro.cli import main
+        config_path = tmp_path / "campaign.toml"
+        config_path.write_text(CampaignConfig().to_toml())
+        code = main(["submit", "--config", str(config_path),
+                     "--url", daemon.url])
+        out = capsys.readouterr().out
+        # the tiny fixture seeds a defect, so the campaign FAILs: the
+        # CLI must say so and exit 1, exactly like `campaign run`
+        assert code == 1
+        assert "FAILURES" in out
+        assert f"{TOTAL_JOBS} jobs" in out

@@ -22,7 +22,13 @@ Verifies, without any third-party dependency:
    without updating the docs fails CI;
 6. the scenario reference (``docs/scenarios.md``) documents every
    defect class, every ``FamilySpec`` field, and the current sweep
-   record schema version.
+   record schema version;
+7. the service reference (``docs/service.md``) documents every
+   endpoint in the daemon's live ``SERVICE_ENDPOINTS`` table and the
+   current stats schema version; every preset in
+   ``examples/presets/`` parses as a ``CampaignConfig``, matches the
+   CLI's ``preset:`` name registry, and is documented in the
+   configuration reference.
 
 Exit status 0 = all good; 1 = problems (each printed with file:line).
 
@@ -184,6 +190,64 @@ def check_scenario_reference(problems):
         )
 
 
+def check_service_reference(problems):
+    """docs/service.md must track the daemon's live endpoint table,
+    and the preset library must parse, match the CLI's registry, and
+    be documented — so a new endpoint or preset cannot ship
+    undocumented, and a preset edit that breaks parsing fails here
+    instead of at serve time."""
+    doc = REPO / "docs" / "service.md"
+    if not doc.is_file():
+        problems.append("docs/service.md: missing (the "
+                        "verification-as-a-service reference)")
+        return
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        from repro.cli import PRESET_NAMES
+        from repro.orchestrate.config import CampaignConfig, ConfigError
+        from repro.orchestrate.stats import STATS_SCHEMA
+        from repro.service.api import SERVICE_ENDPOINTS
+    finally:
+        sys.path.pop(0)
+    text = doc.read_text()
+    for method, path, _summary in SERVICE_ENDPOINTS:
+        # one table row must name both halves of the endpoint
+        if not any(f"`{method}`" in line and f"`{path}`" in line
+                   for line in text.splitlines()):
+            problems.append(
+                f"docs/service.md: endpoint {method} {path} is "
+                f"undocumented"
+            )
+    if f"`\"{STATS_SCHEMA}\"`" not in text:
+        problems.append(
+            f"docs/service.md: stats schema {STATS_SCHEMA!r} is not "
+            f"documented — did it bump without a doc update?"
+        )
+    config_doc = (REPO / "docs" / "configuration.md").read_text() \
+        if (REPO / "docs" / "configuration.md").is_file() else ""
+    preset_dir = REPO / "examples" / "presets"
+    on_disk = sorted(path.stem for path in preset_dir.glob("*.toml")) \
+        if preset_dir.is_dir() else []
+    if on_disk != sorted(PRESET_NAMES):
+        problems.append(
+            f"examples/presets/: files {on_disk} do not match the "
+            f"CLI preset registry {sorted(PRESET_NAMES)}"
+        )
+    for name in on_disk:
+        try:
+            CampaignConfig.load(preset_dir / f"{name}.toml")
+        except (ConfigError, OSError) as exc:
+            problems.append(
+                f"examples/presets/{name}.toml: does not parse as a "
+                f"CampaignConfig -> {exc}"
+            )
+        if f"`preset:{name}`" not in config_doc:
+            problems.append(
+                f"docs/configuration.md: preset 'preset:{name}' is "
+                f"undocumented"
+            )
+
+
 def check_examples_table(problems):
     readme = (REPO / "README.md").read_text()
     for script in sorted((REPO / "examples").glob("*.py")):
@@ -201,6 +265,7 @@ def main():
     check_examples_table(problems)
     check_config_reference(problems)
     check_scenario_reference(problems)
+    check_service_reference(problems)
     if problems:
         print(f"{len(problems)} documentation problem(s):")
         for problem in problems:
