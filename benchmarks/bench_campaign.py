@@ -544,6 +544,81 @@ def _bench_scenario(workers):
     }
 
 
+def _bench_coi():
+    """Cone-addressing sweep probe: the fixed bench family crossed
+    with its datapath-heavy defect classes, swept twice from an empty
+    cache — cold (nothing to reuse), then cone-warm (``--warm-golden``
+    semantics: the golden modules pre-run against the same cache, so
+    every mutant job whose cone the defect missed is a hit by
+    construction).
+
+    The gate is the tentpole claim: the warm sweep must execute at
+    least 3x fewer mutant-campaign jobs than the cold one, with a
+    nonzero cone hit rate and a byte-identical record digest — cone
+    addressing moves cost, never outcomes.
+    """
+    from repro.scenario import FamilySpec, run_sweep
+    from repro.scenario.sweep import record_digest
+
+    spec = FamilySpec(blocks=1, modules_per_block=2, datapath_width=4,
+                      pipeline_depth=1, error_report_width=2)
+    classes = ["wrong-rotate", "swapped-operand", "dropped-error-flag"]
+    limits = dict(sat_conflicts=1_000_000, bdd_nodes=10_000_000)
+
+    with tempfile.TemporaryDirectory(prefix="bench_coi_") as cache_dir:
+        config = CampaignConfig(
+            coi_fingerprints="cone", coi_slice=True,
+            cache_path=os.path.join(cache_dir, "verdicts.json"),
+            **limits)
+        started = time.perf_counter()
+        cold_record, _ = run_sweep(spec, classes=classes, config=config)
+        cold_s = time.perf_counter() - started
+        os.remove(config.cache_path)
+        started = time.perf_counter()
+        warm_record, _ = run_sweep(spec, classes=classes, config=config,
+                                   warm_golden=True)
+        warm_s = time.perf_counter() - started
+
+    cold_t, warm_t = cold_record["timing"], warm_record["timing"]
+    golden = warm_t["golden"]
+    identical = record_digest(cold_record) == record_digest(warm_record)
+    executed_ratio = cold_t["jobs_executed"] / warm_t["jobs_executed"] \
+        if warm_t["jobs_executed"] else float(cold_t["jobs_executed"])
+    hit_rate = warm_t["cone_hits"] / warm_t["jobs"] \
+        if warm_t["jobs"] else 0.0
+
+    print(f"  sweep cold:         {cold_s:7.2f}s "
+          f"({cold_t['jobs_executed']} of {cold_t['jobs']} jobs "
+          f"executed)")
+    print(f"  sweep cone-warm:    {warm_s:7.2f}s "
+          f"({warm_t['jobs_executed']} of {warm_t['jobs']} jobs "
+          f"executed + {golden['jobs_executed']} golden pre-run, "
+          f"{warm_t['cone_hits']} cone hits, "
+          f"hit rate {hit_rate:.2f})")
+    print(f"  executed ratio:     {executed_ratio:.2f}x fewer "
+          f"mutant-campaign jobs warm")
+    if not identical:
+        print("  WARNING: warm-golden sweep changed the record digest!")
+    ok = (identical and warm_t["cone_hits"] > 0
+          and executed_ratio >= 3.0)
+    return {
+        "scope": f"family {spec.digest()[:12]} "
+                 f"(classes {','.join(classes)})",
+        "host": _host_topology(),
+        "jobs": cold_t["jobs"],
+        "jobs_executed": {"cold": cold_t["jobs_executed"],
+                          "cone_warm": warm_t["jobs_executed"],
+                          "golden_prerun": golden["jobs_executed"]},
+        "cone_hits": warm_t["cone_hits"],
+        "cone_hit_rate": round(hit_rate, 3),
+        "executed_ratio": round(executed_ratio, 2),
+        "seconds": {"cold": round(cold_s, 3),
+                    "cone_warm": round(warm_s, 3)},
+        "record_digest_identical": identical,
+        "ok": ok,
+    }
+
+
 def _bench_fleet(workers):
     """Socket-fanout probe on the fixed block-C scope: the local
     ``FleetExecutor`` vs serial — byte-identical outcome plus the
@@ -747,6 +822,8 @@ def main():
     sat_record = _bench_sat_workspace()
     print("scenario-sweep probe (serial vs work-stealing)")
     scenario_record = _bench_scenario(workers)
+    print("cone-addressing probe (cold vs warm-golden cone sweep)")
+    coi_record = _bench_coi()
     print("fleet-transport probe (serial vs local socket fleet, "
           "healthy and worker-SIGKILL)")
     fleet_record = _bench_fleet(workers)
@@ -815,6 +892,7 @@ def main():
         "compile_store": compile_record,
         "sat_workspace": sat_record,
         "scenario_sweep": scenario_record,
+        "coi_cone_warm": coi_record,
         "fleet_transport": fleet_record,
     }
     OUT_PATH.parent.mkdir(exist_ok=True)
@@ -826,6 +904,7 @@ def main():
                      and compile_record["outcomes_identical"]
                      and sat_record["outcomes_identical"]
                      and scenario_record["ok"]
+                     and coi_record["ok"]
                      and fleet_record["outcomes_identical"])
     return 0 if all_identical else 1
 

@@ -116,6 +116,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "timing) to this file")
     sweep.add_argument("--progress", action="store_true",
                        help="print one line per checked property")
+    sweep.add_argument("--warm-golden", action="store_true",
+                       help="pre-run the golden modules against the "
+                            "same cache/verdict DB so cone-"
+                            "fingerprinted mutant jobs replay instead "
+                            "of re-solving (runtime wiring: the sweep "
+                            "record digest is unchanged)")
     fleet = commands.add_parser(
         "fleet", help="fleet-executor worker processes"
     )
@@ -318,7 +324,7 @@ def _report(config: CampaignConfig, show_stats: bool = False) -> int:
 
 
 def _sweep(config: CampaignConfig, record_path: Optional[str],
-           progress: bool) -> int:
+           progress: bool, warm_golden: bool = False) -> int:
     """Run the configured mutation sweep and print its record summary.
 
     The exit code gates CI on the methodology's quality bar: 0 when
@@ -332,7 +338,8 @@ def _sweep(config: CampaignConfig, record_path: Optional[str],
 
     try:
         record, _report_obj = sweep_from_config(
-            config, progress=print if progress else None
+            config, progress=print if progress else None,
+            warm_golden=warm_golden,
         )
     except ValueError as exc:
         # covers ConfigError plus the scenario layer's own validation
@@ -363,6 +370,15 @@ def _sweep(config: CampaignConfig, record_path: Optional[str],
               f"{'holds' if agreed else 'VIOLATED'}")
         for site_id in triage["disagreements"]:
             print(f"  disagreement: {site_id}")
+    timing = record["timing"]
+    warm_note = ""
+    if timing.get("golden") is not None:
+        warm_note = (f" (golden pre-run executed "
+                     f"{timing['golden']['jobs_executed']} of "
+                     f"{timing['golden']['jobs']})")
+    print(f"jobs:           {timing['jobs_executed']} executed of "
+          f"{timing['jobs']} planned, {timing['cone_hits']} cone hits"
+          f"{warm_note}")
     print(f"record digest:  {record_digest(record)} "
           f"({len(canonical_record_bytes(record))} canonical bytes)")
     print(f"config digest:  {record['config_digest']}")
@@ -467,7 +483,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
     if args.command == "scenario":
         return _sweep(config, record_path=args.record,
-                      progress=args.progress)
+                      progress=args.progress,
+                      warm_golden=args.warm_golden)
     if args.action == "report":
         return _report(config, show_stats=args.stats)
     return _run(config, resume=args.action == "resume",

@@ -106,7 +106,8 @@ def cut_registers(design: FlatDesign,
 
 def partition_property(module: Module, vunit: VUnit, assert_name: str,
                        cut_regs: List[str],
-                       store=None) -> PartitionPlan:
+                       store=None,
+                       compile_slice: bool = False) -> PartitionPlan:
     """Divide one asserted property of ``vunit`` at ``cut_regs``.
 
     The returned plan carries one checkpoint sub-problem per cut
@@ -123,6 +124,13 @@ def partition_property(module: Module, vunit: VUnit, assert_name: str,
     (its cut design is a derived artifact, not module content) and
     always starts from a private fresh elaboration, so the cut design
     never inherits another problem's monitor registers.
+
+    ``compile_slice`` compiles each checkpoint sub-problem from its
+    cone-of-influence slice (:mod:`repro.formal.coi`) — the natural fit
+    for the division, whose whole point is that each checkpoint's cone
+    is a fraction of the module.  The abstracted main problem always
+    compiles whole: it lives on the cut design, which is not module
+    content a cone digest could address.
     """
     plan = PartitionPlan(module.name, assert_name, list(cut_regs))
 
@@ -137,7 +145,13 @@ def partition_property(module: Module, vunit: VUnit, assert_name: str,
         sub_unit.declare(prop_name, Always(RedXor(Name(reg_name))),
                          comment=f"{reg_name} should keep odd parity")
         sub_unit.assert_(prop_name)
-        if store is not None:
+        if compile_slice:
+            if store is not None:
+                ts = store.sliced_problem(module, sub_unit, prop_name)
+            else:
+                from ..psl.compile import compile_sliced_assertion
+                ts = compile_sliced_assertion(module, sub_unit, prop_name)
+        elif store is not None:
             ts = store.problem(module, sub_unit, prop_name)
         else:
             ts = compile_assertion(module, sub_unit, prop_name)

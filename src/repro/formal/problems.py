@@ -149,12 +149,24 @@ class CompiledProblemStore:
         self._designs: Dict[str, FlatDesign] = {}
         #: (module digest, vunit digest, assert) -> transition system
         self._problems: Dict[Tuple[str, str, str], TransitionSystem] = {}
+        #: module digest -> cone index over the retained design
+        #: (derived artifact — lives and dies with its design entry)
+        self._cone_indexes: Dict[str, "ConeIndex"] = {}
+        #: cone digest -> sliced design, LRU order (oldest first);
+        #: bounded by ``max_designs`` like the full designs.  Keyed by
+        #: cone content, so cone-equal assertions of *different*
+        #: modules (a golden and its out-of-cone mutants) share one
+        #: slice
+        self._slices: Dict[str, FlatDesign] = {}
         self._design_hits = 0
         self._design_misses = 0
         self._design_evictions = 0
         self._problem_hits = 0
         self._problem_misses = 0
         self._problem_evictions = 0
+        self._slice_hits = 0
+        self._slice_misses = 0
+        self._slice_evictions = 0
 
     # ------------------------------------------------------------------
     def design(self, module: Module,
@@ -175,7 +187,9 @@ class CompiledProblemStore:
             design = elaborate(module)
             while self.max_designs is not None \
                     and len(self._designs) >= self.max_designs:
-                self._designs.pop(next(iter(self._designs)))
+                evicted = next(iter(self._designs))
+                self._designs.pop(evicted)
+                self._cone_indexes.pop(evicted, None)
                 self._design_evictions += 1
         self._designs[key] = design  # (re)insert at most-recent end
         return design
@@ -212,24 +226,120 @@ class CompiledProblemStore:
         self._problems[key] = ts  # (re)insert at most-recent end
         return ts
 
+    def cone(self, module: Module, vunit, assert_name: str,
+             module_digest: Optional[str] = None):
+        """The assertion's :class:`~repro.formal.coi.ConeInfo` over the
+        store-served design.  Per-design node-digest memos are shared
+        across a module's assertions via a retained
+        :class:`~repro.formal.coi.ConeIndex` (dropped whenever its
+        design is evicted, so the memo can never outlive the object
+        identities it keys on)."""
+        module_key = module_digest or content_digest(emit_module(module))
+        design = self.design(module, module_digest=module_key)
+        index = self._cone_indexes.get(module_key)
+        if index is None or index.design is not design:
+            from .coi import ConeIndex
+            index = ConeIndex(design)
+            self._cone_indexes[module_key] = index
+        return index.info(vunit, assert_name)
+
+    def sliced_problem(self, module: Module, vunit, assert_name: str,
+                       module_digest: Optional[str] = None,
+                       vunit_digest: Optional[str] = None,
+                       cone_digest: Optional[str] = None
+                       ) -> TransitionSystem:
+        """The assertion compiled against its cone-of-influence slice,
+        served by *cone* content (:mod:`repro.formal.coi`).
+
+        Problems are retained under ``("coi:" + cone digest, vunit
+        digest, assert name)`` — the prefix keeps cone keys from ever
+        aliasing module-digest keys in the shared ``_problems`` pool —
+        and the sliced designs themselves are retained by cone digest,
+        so cone-equal jobs of different modules (a golden module and
+        its out-of-cone mutants in one sweep) share both levels.  A
+        planner-stamped ``cone_digest`` skips the cone analysis
+        whenever the slice or the compiled problem is already
+        retained; it is cross-checked against the locally computed
+        digest before anything is stored under it.
+        """
+        vunit_key = vunit_digest or content_digest(vunit.emit())
+        if cone_digest is not None:
+            key = (f"coi:{cone_digest}", vunit_key, assert_name)
+            ts = self._problems.pop(key, None)
+            if ts is not None:
+                self._problem_hits += 1
+                self._problems[key] = ts
+                return ts
+        sliced = None if cone_digest is None \
+            else self._slices.pop(cone_digest, None)
+        if sliced is not None:
+            self._slice_hits += 1
+        else:
+            info = self.cone(module, vunit, assert_name,
+                             module_digest=module_digest)
+            if cone_digest is not None and cone_digest != info.digest:
+                raise ValueError(
+                    f"stamped cone digest {cone_digest[:12]}... does "
+                    f"not match the computed cone of "
+                    f"{vunit.name}.{assert_name} "
+                    f"({info.digest[:12]}...) — planner/store version "
+                    f"drift?"
+                )
+            cone_digest = info.digest
+            key = (f"coi:{cone_digest}", vunit_key, assert_name)
+            ts = self._problems.pop(key, None)
+            if ts is not None:
+                self._problem_hits += 1
+                self._problems[key] = ts
+                return ts
+            sliced = self._slices.pop(cone_digest, None)
+            if sliced is not None:
+                self._slice_hits += 1
+            else:
+                self._slice_misses += 1
+                index = self._cone_indexes[
+                    module_digest or content_digest(emit_module(module))]
+                sliced = index.slice(info)
+                while self.max_designs is not None \
+                        and len(self._slices) >= self.max_designs:
+                    self._slices.pop(next(iter(self._slices)))
+                    self._slice_evictions += 1
+        self._slices[cone_digest] = sliced  # (re)insert at recent end
+        key = (f"coi:{cone_digest}", vunit_key, assert_name)
+        self._problem_misses += 1
+        from ..psl.compile import compile_assertion
+        ts = compile_assertion(module, vunit, assert_name, design=sliced)
+        while self.max_problems is not None \
+                and len(self._problems) >= self.max_problems:
+            self._problems.pop(next(iter(self._problems)))
+            self._problem_evictions += 1
+        self._problems[key] = ts
+        return ts
+
     # ------------------------------------------------------------------
     def discard(self) -> None:
         """Drop every retained design and problem (counters survive);
         the next request compiles cold."""
         self._designs.clear()
         self._problems.clear()
+        self._cone_indexes.clear()
+        self._slices.clear()
 
     def stats(self) -> Dict[str, int]:
         """Lifetime counters plus the current pool shape."""
         return {
             "designs": len(self._designs),
             "problems": len(self._problems),
+            "slices": len(self._slices),
             "design_hits": self._design_hits,
             "design_misses": self._design_misses,
             "design_evictions": self._design_evictions,
             "problem_hits": self._problem_hits,
             "problem_misses": self._problem_misses,
             "problem_evictions": self._problem_evictions,
+            "slice_hits": self._slice_hits,
+            "slice_misses": self._slice_misses,
+            "slice_evictions": self._slice_evictions,
         }
 
     @staticmethod

@@ -301,6 +301,11 @@ class ResultCache:
         if job is not None:
             entry["module"] = job.module.name
             entry["category"] = job.category
+            if job.cone_digest:
+                # provenance: which cone this verdict was keyed under
+                # (cone-fingerprinted entries are shared across
+                # cone-equal modules — see repro.formal.coi)
+                entry["cone"] = job.cone_digest
         self._entries.pop(fingerprint, None)
         self._tombstones.pop(fingerprint, None)
         self._entries[fingerprint] = entry

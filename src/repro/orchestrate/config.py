@@ -225,6 +225,10 @@ CONFIG_SCHEMA: Dict[str, Dict[str, str]] = {
         "max_designs": "compile_max_designs",
         "max_problems": "compile_max_problems",
     },
+    "coi": {
+        "fingerprints": "coi_fingerprints",
+        "slice": "coi_slice",
+    },
     "scenario": {
         "seed": "scenario_seed",
         "blocks": "scenario_blocks",
@@ -344,6 +348,18 @@ class CampaignConfig:
     compile_max_designs: Optional[int] = 8
     #: compile-store valve: retained compiled problems (``None`` = all)
     compile_max_problems: Optional[int] = 64
+
+    #: ``[coi]`` — cone-of-influence content addressing
+    #: (:mod:`repro.formal.coi`).  Both default to ``None`` ("absent":
+    #: legacy module-digest fingerprints, full-module compiles), so
+    #: configs written before the section existed keep their digests.
+    #: Unlike the ``[compile]`` knobs, ``fingerprints`` *does* change
+    #: job fingerprints — "cone" keys each job by its assertion's cone
+    #: digest, so caches written under one mode miss under the other
+    #: job fingerprint scope: ``"module"`` (default) or ``"cone"``
+    coi_fingerprints: Optional[str] = None
+    #: compile each job's transition system from its cone slice
+    coi_slice: Optional[bool] = None
 
     #: ``[scenario]`` — the chip-family / mutation-sweep knobs consumed
     #: by ``python -m repro scenario sweep`` and
@@ -503,6 +519,18 @@ class CampaignConfig:
             parse_launcher_spec(self.fleet_launcher)
         except ValueError as exc:
             raise ConfigError(str(exc)) from None
+        if self.coi_fingerprints is not None \
+                and self.coi_fingerprints not in ("module", "cone"):
+            raise ConfigError(
+                f"coi_fingerprints must be \"module\" or \"cone\" "
+                f"(or absent), got {self.coi_fingerprints!r}"
+            )
+        if self.coi_slice is not None \
+                and not isinstance(self.coi_slice, bool):
+            raise ConfigError(
+                f"coi_slice must be a boolean or absent, "
+                f"got {self.coi_slice!r}"
+            )
         if self.scenario_seed is not None and (
                 not _is_int(self.scenario_seed) or self.scenario_seed < 0):
             raise ConfigError(

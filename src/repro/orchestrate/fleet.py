@@ -343,7 +343,11 @@ def jobs_from_config(config) -> List[CheckJob]:
     from .planner import plan_campaign
     only = list(config.blocks) if config.blocks is not None else None
     blocks = ComponentChip(only_blocks=only).blocks
-    plan = plan_campaign(blocks, config.build_engines(), lint=config.lint)
+    plan = plan_campaign(
+        blocks, config.build_engines(), lint=config.lint,
+        coi_fingerprints=config.coi_fingerprints or "module",
+        coi_slice=bool(config.coi_slice),
+    )
     return list(plan.jobs)
 
 

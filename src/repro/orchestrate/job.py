@@ -52,7 +52,7 @@ from ..formal.satspace import SatWorkspace
 from ..formal.trace import Trace
 from ..formal.workspace import BddWorkspace
 from ..psl.ast import VUnit
-from ..psl.compile import compile_assertion
+from ..psl.compile import compile_assertion, compile_sliced_assertion
 from ..rtl.module import Module
 from ..rtl.verilog import emit_module
 
@@ -166,6 +166,19 @@ class CheckJob:
     are the content key of the job's compiled problem in a
     :class:`~repro.formal.problems.CompiledProblemStore`.
 
+    ``cone_digest`` is the assertion's cone-of-influence content hash
+    (:mod:`repro.formal.coi`), stamped by the planner when the ``[coi]``
+    section asks for cone fingerprints or slice compilation (empty
+    otherwise).  With ``fingerprints = "cone"`` it replaces the module
+    digest as the fingerprint's scope component, so two modules that
+    agree on this assertion's cone share the job's cache/verdict-db
+    key.  ``compile_slice`` asks :func:`compile_job` to build the
+    transition system from the cone slice instead of the full module;
+    like ``engine_order`` it is execution wiring outside the
+    fingerprint — slicing changes the cost of a verdict, never the
+    verdict (see :func:`run_check_job` for how FAIL counterexamples
+    stay byte-identical).
+
     ``engine_order`` is execution-time wiring set by a portfolio
     policy (:mod:`repro.orchestrate.policy`): a permutation of
     ``range(len(engines))`` giving the order stages are *attempted*.
@@ -184,6 +197,8 @@ class CheckJob:
     fingerprint: str
     module_digest: str = ""
     vunit_digest: str = ""
+    cone_digest: str = ""
+    compile_slice: bool = False
     engine_order: Optional[Tuple[int, ...]] = None
 
     @property
@@ -216,6 +231,8 @@ class CheckJob:
             "fingerprint": self.fingerprint,
             "module_digest": self.module_digest,
             "vunit_digest": self.vunit_digest,
+            "cone_digest": self.cone_digest,
+            "compile_slice": self.compile_slice,
             "engines": [config.describe() for config in self.engines],
             "engine_order": list(self.engine_order)
             if self.engine_order is not None else None,
@@ -297,7 +314,24 @@ def compile_job(job: CheckJob,
     patched variant planned together) can never be served each other's
     artifacts: equal digests mean byte-identical RTL by construction.
     Without a store the job compiles cold.
+
+    A slice-stamped job (``job.compile_slice``, the ``[coi] slice``
+    knob) compiles against its cone-of-influence slice instead of the
+    full module: same verdict, smaller BDD/SAT problem on wide
+    modules.  Through the store, slice problems are keyed by *cone*
+    digest, so cone-equal jobs of different modules (a golden and its
+    out-of-cone mutants) share one compile.
     """
+    if job.compile_slice:
+        if store is not None:
+            return store.sliced_problem(
+                job.module, job.vunit, job.assert_name,
+                module_digest=job.module_digest or None,
+                vunit_digest=job.vunit_digest or None,
+                cone_digest=job.cone_digest or None,
+            )
+        return compile_sliced_assertion(job.module, job.vunit,
+                                        job.assert_name)
     if store is None:
         return compile_assertion(job.module, job.vunit, job.assert_name)
     return store.problem(job.module, job.vunit, job.assert_name,
@@ -408,6 +442,9 @@ def run_check_job(job: CheckJob,
     # a single-stage portfolio keeps the same provenance a ladder does
     result.stats["portfolio"] = attempts
     result.seconds = sum(attempt["seconds"] for attempt in attempts)
+    if job.compile_slice and result.status == FAIL \
+            and result.trace is not None:
+        _rederive_slice_fail(job, store, result)
     if len(job.engines) > 1:
         result.engine = f"portfolio:{result.engine}"
     return JobResult(
@@ -420,6 +457,44 @@ def run_check_job(job: CheckJob,
         result=result,
         cached=False,
     )
+
+
+def _rederive_slice_fail(job: CheckJob,
+                         store: Optional[CompiledProblemStore],
+                         result: CheckResult) -> None:
+    """Swap a slice-found counterexample for the full-compile one.
+
+    Reports must be byte-identical with slicing on or off.  Verdicts
+    and minimal depths are — the slice is behaviour-preserving on the
+    property's cone — but the *model* a SAT/BDD search lands on can
+    differ between the slice and the full compile (their internal
+    variable orders differ even though input literals match), and
+    FAIL canonical frames are part of report bytes.  So a slice-mode
+    FAIL re-searches the full compile cold at the found depth — the
+    exact derivation every non-slice FAIL trace ultimately comes from
+    — and carries those frames instead.  If the re-search ever
+    disagrees (it cannot, short of a cone-analysis bug), the sound
+    slice trace stands rather than silently dropping a verdict.
+    """
+    from ..formal.bmc import bmc
+
+    if store is not None:
+        full_ts = store.problem(job.module, job.vunit, job.assert_name,
+                                module_digest=job.module_digest or None,
+                                vunit_digest=job.vunit_digest or None)
+    else:
+        full_ts = compile_assertion(job.module, job.vunit,
+                                    job.assert_name)
+    depth = result.depth if result.depth is not None \
+        else result.trace.length - 1
+    # no depth-equality requirement on the re-search: BDD engines
+    # report their iteration bound, not the minimal counterexample
+    # length, and the off-mode trace is whatever bmc(full, bound)
+    # concretises — exactly what is reproduced here
+    rerun = bmc(full_ts, depth)
+    if rerun.failed and rerun.trace is not None:
+        result.trace = rerun.trace
+        result.stats["coi_rederived"] = True
 
 
 # ----------------------------------------------------------------------

@@ -157,7 +157,11 @@ class CampaignOrchestrator:
         and fingerprints — which is what lets a resumed campaign match
         its checkpoint journal against a freshly derived plan.
         """
-        return plan_campaign(self.blocks, self.engines, lint=self.lint)
+        return plan_campaign(
+            self.blocks, self.engines, lint=self.lint,
+            coi_fingerprints=self.config.coi_fingerprints or "module",
+            coi_slice=bool(self.config.coi_slice),
+        )
 
     # ------------------------------------------------------------------
     def run(self, progress: Progress = None,
@@ -300,6 +304,21 @@ class CampaignOrchestrator:
             # leases issued/re-issued, rejected results, per-worker job
             # counts); empty dict = not a fleet executor
             "fleet": fleet_stats_fn() if fleet_stats_fn else {},
+            # cone addressing: what the [coi] section asked for, how
+            # many distinct cones the plan saw, and the hit/run split —
+            # the sweep-at-scale headline (cone_hits are the cache hits
+            # earned by cone fingerprints; in module mode the split is
+            # still reported but cone_hits stays 0)
+            "coi": {
+                "fingerprints": self.config.coi_fingerprints or "module",
+                "slice": bool(self.config.coi_slice),
+                "unique_cones": len({job.cone_digest
+                                     for job in plan.jobs
+                                     if job.cone_digest}),
+                "jobs_executed": len(to_run),
+                "cone_hits": len(cached_results)
+                if self.config.coi_fingerprints == "cone" else 0,
+            },
             "jobs": plan.total_jobs,
             "cache_hits": len(cached_results),
             "cache_misses": len(to_run) if self.cache is not None else 0,

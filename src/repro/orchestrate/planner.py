@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..core.leaf import ScopeEntry, classify
 from ..core.stereotypes import stereotype_vunits
+from ..formal.coi import index_module
 from ..rtl.lint import LintIssue, lint_verifiable
 from ..rtl.module import Module
 from ..rtl.verilog import emit_module
@@ -23,6 +24,9 @@ from .job import (
     CheckJob, EngineConfig, engines_digest, fingerprint_digests,
     text_digest,
 )
+
+#: valid values of the ``[coi] fingerprints`` knob
+COI_FINGERPRINT_MODES = ("module", "cone")
 
 Blocks = Sequence[Tuple[str, Sequence[Module]]]
 
@@ -72,13 +76,33 @@ class CampaignPlan:
 
 
 def plan_campaign(blocks: Blocks, engines: Tuple[EngineConfig, ...],
-                  lint: bool = True) -> CampaignPlan:
+                  lint: bool = True,
+                  coi_fingerprints: str = "module",
+                  coi_slice: bool = False) -> CampaignPlan:
     """Walk ``blocks`` once and produce the flat, ordered job list.
 
     Scoping, lint order, and job order exactly mirror the legacy
     serial walk, so a serial replay of the plan reproduces the old
     ``FormalCampaign`` report byte for byte.
+
+    ``coi_fingerprints`` picks the job-identity scope: ``"module"``
+    keys every job by the whole-module digest (the legacy behaviour),
+    ``"cone"`` keys it by the assertion's cone-of-influence digest
+    (:mod:`repro.formal.coi`) — so two modules that agree on one
+    assertion's cone share that job's fingerprint, and a one-site
+    mutant re-checks only the cone-touching subset of its jobs.
+    ``coi_slice`` stamps the jobs for slice compilation (the
+    ``TransitionSystem`` is built from the cone slice instead of the
+    full module).  Either option computes one cone index per module at
+    plan time — a single monitor-free elaboration, amortised across
+    the module's assertions.
     """
+    if coi_fingerprints not in COI_FINGERPRINT_MODES:
+        raise ValueError(
+            f"coi_fingerprints must be one of {COI_FINGERPRINT_MODES}, "
+            f"got {coi_fingerprints!r}"
+        )
+    need_cones = coi_fingerprints == "cone" or coi_slice
     plan = CampaignPlan()
     engines_text = engines_digest(engines)
     index = 0
@@ -95,9 +119,17 @@ def plan_campaign(blocks: Blocks, engines: Tuple[EngineConfig, ...],
             if lint:
                 plan.lint_issues.extend(lint_verifiable(module))
             module_digest = text_digest(emit_module(module))
+            cone_index = index_module(module) if need_cones else None
             for vunit in stereotype_vunits(module):
                 vunit_digest = text_digest(vunit.emit())
                 for assert_name, _ in vunit.asserted():
+                    cone = "" if cone_index is None else \
+                        cone_index.info(vunit, assert_name).digest
+                    # the "coi:" prefix keeps the two addressing
+                    # schemes from ever aliasing in a shared store
+                    scope_digest = module_digest \
+                        if coi_fingerprints == "module" \
+                        else f"coi:{cone}"
                     plan.jobs.append(CheckJob(
                         index=index,
                         block=block_name,
@@ -107,11 +139,13 @@ def plan_campaign(blocks: Blocks, engines: Tuple[EngineConfig, ...],
                         category=vunit.category,
                         engines=engines,
                         fingerprint=fingerprint_digests(
-                            module_digest, vunit_digest, assert_name,
+                            scope_digest, vunit_digest, assert_name,
                             engines_text
                         ),
                         module_digest=module_digest,
                         vunit_digest=vunit_digest,
+                        cone_digest=cone,
+                        compile_slice=coi_slice,
                     ))
                     index += 1
     return plan

@@ -44,6 +44,7 @@ _GROUPS = (
     ("sat_workspace", ("sat_workspace",)),
     ("bdd_workspace", ("bdd_workspace",)),
     ("fleet", ("fleet",)),
+    ("coi", ("coi",)),
     ("engine_attempts", ("engine_attempts",)),
 )
 

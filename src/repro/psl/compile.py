@@ -193,6 +193,29 @@ def compile_assertion(module: Module, vunit: VUnit, assert_name: str,
     return ts
 
 
+def compile_sliced_assertion(module: Module, vunit: VUnit,
+                             assert_name: str) -> TransitionSystem:
+    """Build the safety problem for one ``assert`` from its COI slice.
+
+    Elaborates the module fresh, computes the assertion's structural
+    cone (:mod:`repro.formal.coi`), and compiles against the sliced
+    design — only the cone's registers, the full input signature (so
+    input literal numbering matches a full compile and cached
+    counterexample frames replay either way), and the
+    property-referenced outputs.  Store-backed callers should prefer
+    :meth:`repro.formal.problems.CompiledProblemStore.sliced_problem`,
+    which shares cone indexes and slices across jobs.
+    """
+    # deferred import: formal.coi sits above this front-end layer
+    from ..formal.coi import ConeIndex
+
+    note_elaboration()
+    index = ConeIndex(elaborate(module))
+    info = index.info(vunit, assert_name)
+    return compile_assertion(module, vunit, assert_name,
+                             design=index.slice(info))
+
+
 def compile_cluster(module: Module, vunit: VUnit,
                     assert_names: Optional[List[str]] = None,
                     design: Optional[FlatDesign] = None) -> ClusterSystem:

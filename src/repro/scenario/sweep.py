@@ -46,6 +46,7 @@ def run_sweep(spec: FamilySpec,
               sites_per_module: Optional[int] = None,
               triage: bool = False,
               sim_cycles: int = 256,
+              warm_golden: bool = False,
               progress: Optional[Callable[[str], None]] = None
               ) -> Tuple[Dict[str, object], object]:
     """Run one mutation campaign; returns ``(record, campaign report)``.
@@ -57,6 +58,18 @@ def run_sweep(spec: FamilySpec,
     screens every mutant first, the record gains a ``triage`` section
     with the directional cross-check (sim FAIL must imply formal FAIL)
     and a formal replay of each sim counterexample.
+
+    ``warm_golden=True`` pre-runs the *golden* (unmutated) modules the
+    sampled sites live in as their own campaign against the same
+    ``config`` — hence the same result cache / verdict database — so
+    that with ``[coi] fingerprints = "cone"`` every mutant job whose
+    cone the defect does not touch is a cache hit by construction and
+    the mutant campaign executes only the cone-intersecting subset.
+    This is deliberately runtime wiring, not a config knob: the sweep
+    record embeds ``config_digest``, and the warm and cold runs of one
+    config must keep identical :func:`record_digest`\\ s (warming
+    changes cost, never outcome — the ``timing`` section, which
+    canonicalization strips, is where the job counts land).
     """
     from ..orchestrate import CampaignOrchestrator
 
@@ -72,6 +85,27 @@ def run_sweep(spec: FamilySpec,
     mutants.sort(key=lambda item: item[1].site_id)
     campaign_blocks = [(site.site_id, [verifiable])
                        for _, site, verifiable in mutants]
+
+    golden_timing = None
+    if warm_golden:
+        seen: Dict[Tuple[str, str], None] = {}
+        golden_blocks: Dict[str, List] = {}
+        for family_block, module, _ in selected:
+            if (family_block, module.name) in seen:
+                continue
+            seen[(family_block, module.name)] = None
+            golden_blocks.setdefault(family_block, []).append(
+                make_verifiable(module))
+        golden_report = CampaignOrchestrator(
+            sorted(golden_blocks.items()), config=config,
+        ).run(progress)
+        golden_timing = {
+            "jobs": golden_report.stats["jobs"],
+            "jobs_executed":
+                golden_report.stats["coi"]["jobs_executed"],
+            "cone_hits": golden_report.stats["coi"]["cone_hits"],
+            "seconds": golden_report.seconds,
+        }
 
     sim_results = None
     if triage:
@@ -174,8 +208,15 @@ def run_sweep(spec: FamilySpec,
             "survivors": survivors,
         },
         "triage": triage_section,
+        # wall-clock and workload data only — canonical_record_bytes
+        # strips this section, so warm/cold and cone/module runs of one
+        # config keep identical record digests
         "timing": {
             "campaign_seconds": report.seconds,
+            "jobs": report.stats["jobs"],
+            "jobs_executed": report.stats["coi"]["jobs_executed"],
+            "cone_hits": report.stats["coi"]["cone_hits"],
+            "golden": golden_timing,
             "engines": engine_timing,
         },
     }
@@ -184,14 +225,17 @@ def run_sweep(spec: FamilySpec,
 
 
 def sweep_from_config(config: CampaignConfig,
-                      progress: Optional[Callable[[str], None]] = None
+                      progress: Optional[Callable[[str], None]] = None,
+                      warm_golden: bool = False
                       ) -> Tuple[Dict[str, object], object]:
     """Run the sweep a config's ``[scenario]`` section describes.
 
     Absent scenario fields fall back to the :class:`FamilySpec`
     defaults (and all-four defect classes, no site cap, triage off,
     256 sim cycles) — so a plain campaign TOML is also a valid, if
-    small, sweep configuration.
+    small, sweep configuration.  ``warm_golden`` is the CLI's
+    ``--warm-golden`` flag (see :func:`run_sweep` for why it is not a
+    config key).
     """
     spec_kwargs: Dict[str, object] = {}
     for field_name in ("seed", "blocks", "modules_per_block",
@@ -209,6 +253,7 @@ def sweep_from_config(config: CampaignConfig,
         sites_per_module=config.scenario_sites_per_module,
         triage=bool(config.scenario_triage),
         sim_cycles=256 if sim_cycles is None else sim_cycles,
+        warm_golden=warm_golden,
         progress=progress,
     )
 

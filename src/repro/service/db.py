@@ -62,7 +62,10 @@ class VerdictDatabase:
     service API layer.
     """
 
-    SCHEMA_VERSION = 1
+    # v2: verdicts gained the ``cone`` provenance column (the COI
+    # digest a cone-fingerprinted verdict was keyed under); the version
+    # pin wipes v1 stores — degrade to miss, the cache's standing rule
+    SCHEMA_VERSION = 2
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
@@ -106,6 +109,7 @@ class VerdictDatabase:
             " category TEXT,"
             " engine TEXT,"
             " status TEXT,"
+            " cone TEXT,"
             " stored_at REAL NOT NULL)"
         )
         rows = dict(conn.execute("SELECT key, value FROM meta"))
@@ -183,6 +187,8 @@ class VerdictDatabase:
         if job is not None:
             entry["module"] = job.module.name
             entry["category"] = job.category
+            if job.cone_digest:
+                entry["cone"] = job.cone_digest
         self._insert(fingerprint, entry)
         self._counters["stored"] += 1
 
@@ -190,8 +196,8 @@ class VerdictDatabase:
         self._execute(
             "INSERT OR REPLACE INTO verdicts"
             " (fingerprint, entry, module, category, engine, status,"
-            "  stored_at)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            "  cone, stored_at)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 fingerprint,
                 json.dumps(entry, default=repr),
@@ -199,6 +205,7 @@ class VerdictDatabase:
                 entry.get("category"),
                 entry.get("engine"),
                 entry.get("status"),
+                entry.get("cone"),
                 _stored_at(entry),
             ),
         )
@@ -280,7 +287,8 @@ class VerdictDatabase:
         payload is data about the store, not a trusted verdict; a
         campaign consuming it goes through :meth:`lookup`)."""
         row = self._execute(
-            "SELECT entry, module, category, engine, status, stored_at"
+            "SELECT entry, module, category, engine, status, cone,"
+            " stored_at"
             " FROM verdicts WHERE fingerprint = ?",
             (fingerprint,),
         ).fetchone()
@@ -296,7 +304,8 @@ class VerdictDatabase:
             "category": row[2],
             "engine": row[3],
             "status": row[4],
-            "stored_at": row[5],
+            "cone": row[5],
+            "stored_at": row[6],
             "entry": entry if isinstance(entry, dict) else None,
         }
 

@@ -16,7 +16,7 @@ import pytest
 
 from repro.chip import ComponentChip
 from repro.orchestrate import (
-    CampaignOrchestrator, EngineConfig, FleetExecutor,
+    CampaignConfig, CampaignOrchestrator, EngineConfig, FleetExecutor,
     ModuleAffinityScheduling, ParallelExecutor, SerialExecutor,
     WorkStealingExecutor, plan_campaign,
 )
@@ -192,6 +192,51 @@ class TestStreamingContract:
             tiny_blocks, engines=_engines(), executor=make_executor()
         ).run()
         assert other.canonical_bytes() == serial.canonical_bytes()
+
+
+#: cone-addressing variants: the `[coi]` knobs change job fingerprints
+#: and compilation strategy, so they must be certified report-compatible
+#: on every executor family, exactly like a new executor would be
+COI_EXECUTORS = [
+    pytest.param(lambda: SerialExecutor(), id="serial"),
+    pytest.param(lambda: ParallelExecutor(processes=2), id="parallel"),
+    pytest.param(lambda: WorkStealingExecutor(processes=2),
+                 id="work-stealing"),
+]
+
+COI_CONFIGS = [
+    pytest.param(CampaignConfig(coi_fingerprints="cone"), id="cone"),
+    pytest.param(CampaignConfig(coi_slice=True), id="slice"),
+    pytest.param(CampaignConfig(coi_fingerprints="cone", coi_slice=True),
+                 id="cone-slice"),
+]
+
+
+@pytest.fixture(scope="module")
+def module_mode_bytes(tiny_blocks):
+    """The legacy serial, module-fingerprint report — the reference
+    bytes every cone-addressing variant must reproduce."""
+    return CampaignOrchestrator(
+        tiny_blocks, engines=_engines(), executor=SerialExecutor()
+    ).run().canonical_bytes()
+
+
+@pytest.mark.parametrize("coi_config", COI_CONFIGS)
+@pytest.mark.parametrize("make_executor", COI_EXECUTORS)
+class TestConeAddressingContract:
+    """Cone fingerprints and slice compilation must be invisible in
+    report bytes — on/off, on any executor.  The fixture's seeded
+    defect guarantees a FAIL, so slice-mode counterexample
+    re-derivation crosses every boundary too."""
+
+    def test_report_identical_to_module_mode_serial(
+            self, make_executor, coi_config, tiny_blocks,
+            module_mode_bytes):
+        report = CampaignOrchestrator(
+            tiny_blocks, engines=_engines(), executor=make_executor(),
+            config=coi_config,
+        ).run()
+        assert report.canonical_bytes() == module_mode_bytes
 
 
 class TestWorkStealingSpecifics:

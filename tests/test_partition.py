@@ -102,3 +102,22 @@ class TestPartitionPlan:
         unit = integrity_vunit(wide)
         with pytest.raises(PslError):
             partition_property(wide, unit, "pMissing", ["A2"])
+
+    def test_compile_slice_pieces_equivalent(self, wide, budget):
+        """Checkpoint pieces compiled from their COI slices must be no
+        larger than — and verdict-identical to — the full compiles."""
+        unit = integrity_vunit(wide)
+        assert_name = unit.asserted()[0][0]
+        cuts = fig7_cut_registers(wide)
+        full = partition_property(wide, unit, assert_name, cuts)
+        sliced = partition_property(wide, unit, assert_name, cuts,
+                                    compile_slice=True)
+        pairs = zip(full.checkpoint_problems, sliced.checkpoint_problems)
+        for whole, piece in pairs:
+            assert piece.ts.size_stats()["latches"] <= \
+                whole.ts.size_stats()["latches"]
+            want = ModelChecker(whole.ts, budget).check(
+                method="bdd-forward")
+            got = ModelChecker(piece.ts, budget).check(
+                method="bdd-forward")
+            assert got.status == want.status, piece.name
